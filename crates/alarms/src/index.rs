@@ -1,0 +1,472 @@
+use crate::{AlarmId, AlarmScope, SpatialAlarm, SubscriberId};
+use sa_geometry::{Point, Rect};
+use sa_index::{QueryStats, RStarTree};
+use std::collections::HashMap;
+
+/// The server-side index of installed spatial alarms: an R*-tree over alarm
+/// regions (paper §5.1) plus per-subscriber relevance filtering.
+///
+/// Queries come in two flavors:
+///
+/// - *trigger checks* — which relevant alarms contain a subscriber's
+///   position ([`AlarmIndex::relevant_at`]),
+/// - *safe-region scoping* — which relevant alarms intersect the
+///   subscriber's current grid cell ([`AlarmIndex::relevant_intersecting`]).
+///
+/// Both report [`QueryStats`] variants so the simulation can charge index
+/// work to the server-load model.
+#[derive(Debug)]
+pub struct AlarmIndex {
+    tree: RStarTree<AlarmId>,
+    alarms: Vec<SpatialAlarm>,
+    /// Per-subscriber private/shared alarm ids (the subscriber's "personal"
+    /// alarms). Public alarms are not listed — they are relevant to
+    /// everyone and answered by spatial queries.
+    personal: HashMap<SubscriberId, Vec<AlarmId>>,
+}
+
+impl AlarmIndex {
+    /// Builds the index over `alarms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when alarm ids are not dense (`0..alarms.len()`), which the
+    /// workload generator guarantees.
+    pub fn build(alarms: Vec<SpatialAlarm>) -> AlarmIndex {
+        for (i, a) in alarms.iter().enumerate() {
+            assert_eq!(a.id().0 as usize, i, "alarm ids must be dense and ordered");
+        }
+        let mut tree = RStarTree::new();
+        let mut personal: HashMap<SubscriberId, Vec<AlarmId>> = HashMap::new();
+        for a in &alarms {
+            tree.insert(a.region(), a.id());
+            match a.scope() {
+                AlarmScope::Private { owner } => personal.entry(*owner).or_default().push(a.id()),
+                AlarmScope::Shared { subscribers, .. } => {
+                    for s in subscribers {
+                        personal.entry(*s).or_default().push(a.id());
+                    }
+                }
+                AlarmScope::Public { .. } => {}
+            }
+        }
+        AlarmIndex { tree, alarms, personal }
+    }
+
+    /// The subscriber's private/shared alarm ids (empty for subscribers
+    /// who own and share nothing). Public alarms are excluded.
+    pub fn personal_alarms(&self, user: SubscriberId) -> &[AlarmId] {
+        self.personal.get(&user).map_or(&[], Vec::as_slice)
+    }
+
+    /// Distance from `pos` to the nearest alarm region that is relevant to
+    /// `user` and satisfies `keep` — the safe-period baseline's core query.
+    /// Combines a filtered best-first nearest-neighbor search over the
+    /// public alarms with a scan of the subscriber's (few) personal alarms.
+    pub fn nearest_relevant_distance<F: Fn(AlarmId) -> bool>(
+        &self,
+        user: SubscriberId,
+        pos: Point,
+        keep: F,
+    ) -> (Option<f64>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let public = self.tree.nearest_matching(pos, |id| {
+            let a = self.alarm(*id);
+            a.is_public() && keep(*id)
+        });
+        let mut best: Option<f64> = None;
+        if let Some((_, _, d, s)) = public {
+            best = Some(d);
+            stats = s;
+        }
+        for &id in self.personal_alarms(user) {
+            stats.entries_tested += 1;
+            if !keep(id) {
+                continue;
+            }
+            let d = self.alarm(id).region().distance_to_point(pos);
+            if best.is_none_or(|b| d < b) {
+                best = Some(d);
+            }
+        }
+        (best, stats)
+    }
+
+    /// Number of installed alarms.
+    pub fn len(&self) -> usize {
+        self.alarms.len()
+    }
+
+    /// True when no alarms are installed.
+    pub fn is_empty(&self) -> bool {
+        self.alarms.is_empty()
+    }
+
+    /// Alarm lookup by id.
+    pub fn alarm(&self, id: AlarmId) -> &SpatialAlarm {
+        &self.alarms[id.0 as usize]
+    }
+
+    /// All installed alarms.
+    pub fn alarms(&self) -> &[SpatialAlarm] {
+        &self.alarms
+    }
+
+    /// Alarms relevant to `user` whose regions contain `pos` — the
+    /// server-side trigger check.
+    pub fn relevant_at(&self, user: SubscriberId, pos: Point) -> (Vec<&SpatialAlarm>, QueryStats) {
+        let (hits, stats) = self.tree.search_point_with_stats(pos);
+        let filtered = hits
+            .into_iter()
+            .map(|id| self.alarm(*id))
+            .filter(|a| a.is_relevant_to(user))
+            .collect();
+        (filtered, stats)
+    }
+
+    /// Alarms relevant to `user` whose regions intersect `area` — the set
+    /// considered for safe-region computation inside a grid cell.
+    pub fn relevant_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<&SpatialAlarm> {
+        self.relevant_intersecting_with_stats(user, area).0
+    }
+
+    /// Like [`AlarmIndex::relevant_intersecting`], also reporting traversal
+    /// statistics for the server-load model.
+    pub fn relevant_intersecting_with_stats(
+        &self,
+        user: SubscriberId,
+        area: Rect,
+    ) -> (Vec<&SpatialAlarm>, QueryStats) {
+        let (hits, stats) = self.tree.search_intersecting_with_stats(area);
+        let filtered = hits
+            .into_iter()
+            .map(|(_, id)| self.alarm(*id))
+            .filter(|a| a.is_relevant_to(user))
+            .collect();
+        (filtered, stats)
+    }
+
+    /// All alarms (regardless of subscriber) intersecting `area`.
+    pub fn all_intersecting(&self, area: Rect) -> Vec<&SpatialAlarm> {
+        self.all_intersecting_with_stats(area).0
+    }
+
+    /// Like [`AlarmIndex::all_intersecting`], also reporting traversal
+    /// statistics for the server-load model.
+    pub fn all_intersecting_with_stats(&self, area: Rect) -> (Vec<&SpatialAlarm>, QueryStats) {
+        let (hits, stats) = self.tree.search_intersecting_with_stats(area);
+        (hits.into_iter().map(|(_, id)| self.alarm(*id)).collect(), stats)
+    }
+
+    /// Installs a new alarm at runtime (publishers install alarms over the
+    /// life of the service, §1). The alarm's id must continue the dense id
+    /// space. Any safe region previously computed over an area the new
+    /// alarm's region intersects is stale; the caller is responsible for
+    /// invalidating those subscriptions (e.g., by pushing fresh regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the alarm's id is not `self.len()`.
+    pub fn install(&mut self, alarm: SpatialAlarm) {
+        assert_eq!(
+            alarm.id().0 as usize,
+            self.alarms.len(),
+            "alarm ids must stay dense: expected {}",
+            self.alarms.len()
+        );
+        self.tree.insert(alarm.region(), alarm.id());
+        match alarm.scope() {
+            AlarmScope::Private { owner } => {
+                self.personal.entry(*owner).or_default().push(alarm.id())
+            }
+            AlarmScope::Shared { subscribers, .. } => {
+                for s in subscribers {
+                    self.personal.entry(*s).or_default().push(alarm.id());
+                }
+            }
+            AlarmScope::Public { .. } => {}
+        }
+        self.alarms.push(alarm);
+    }
+
+    /// Removes an alarm from the spatial index (e.g., a cancelled alarm).
+    /// The alarm metadata stays addressable by id; only queries stop
+    /// reporting it. Returns true when the alarm was still indexed.
+    pub fn deactivate(&mut self, id: AlarmId) -> bool {
+        let region = self.alarm(id).region();
+        self.tree.remove(region, |x| *x == id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlarmScope;
+
+    fn user(n: u32) -> SubscriberId {
+        SubscriberId(n)
+    }
+
+    fn build_small() -> AlarmIndex {
+        let mk = |id: u64, x: f64, y: f64, scope: AlarmScope| {
+            SpatialAlarm::around_static_target(AlarmId(id), Point::new(x, y), 50.0, scope).unwrap()
+        };
+        AlarmIndex::build(vec![
+            mk(0, 100.0, 100.0, AlarmScope::Public { owner: user(0) }),
+            mk(1, 100.0, 100.0, AlarmScope::Private { owner: user(1) }),
+            mk(2, 105.0, 105.0, AlarmScope::shared(user(2), vec![user(3)])),
+            mk(3, 5_000.0, 5_000.0, AlarmScope::Public { owner: user(0) }),
+        ])
+    }
+
+    #[test]
+    fn relevant_at_filters_by_scope() {
+        let index = build_small();
+        let p = Point::new(100.0, 100.0);
+        let ids = |u: u32| {
+            let (alarms, _) = index.relevant_at(user(u), p);
+            let mut v: Vec<u64> = alarms.iter().map(|a| a.id().0).collect();
+            v.sort_unstable();
+            v
+        };
+        // Public alarm 0 + own private alarm 1; alarm 2's shared list is {2, 3}.
+        assert_eq!(ids(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn relevant_at_per_user_breakdown() {
+        let index = build_small();
+        let p = Point::new(100.0, 100.0);
+        let ids = |u: u32| {
+            let (alarms, _) = index.relevant_at(user(u), p);
+            let mut v: Vec<u64> = alarms.iter().map(|a| a.id().0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(0), vec![0]);
+        assert_eq!(ids(2), vec![0, 2]);
+        assert_eq!(ids(3), vec![0, 2]);
+        assert_eq!(ids(9), vec![0]);
+    }
+
+    #[test]
+    fn relevant_intersecting_scopes_to_area() {
+        let index = build_small();
+        let cell = Rect::new(0.0, 0.0, 1_000.0, 1_000.0).unwrap();
+        let (alarms, stats) = index.relevant_intersecting_with_stats(user(3), cell);
+        let mut ids: Vec<u64> = alarms.iter().map(|a| a.id().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2]); // alarm 3 is far away, alarm 1 is private to user 1
+        assert!(stats.nodes_visited >= 1);
+    }
+
+    #[test]
+    fn all_intersecting_ignores_scope() {
+        let index = build_small();
+        let cell = Rect::new(0.0, 0.0, 1_000.0, 1_000.0).unwrap();
+        assert_eq!(index.all_intersecting(cell).len(), 3);
+    }
+
+    #[test]
+    fn deactivate_removes_from_queries() {
+        let mut index = build_small();
+        assert!(index.deactivate(AlarmId(0)));
+        assert!(!index.deactivate(AlarmId(0)), "second deactivation is a no-op");
+        let (alarms, _) = index.relevant_at(user(9), Point::new(100.0, 100.0));
+        assert!(alarms.is_empty());
+        // Metadata remains addressable.
+        assert_eq!(index.alarm(AlarmId(0)).id(), AlarmId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_sparse_ids() {
+        let a = SpatialAlarm::around_static_target(
+            AlarmId(7),
+            Point::new(0.0, 0.0),
+            10.0,
+            AlarmScope::Public { owner: user(0) },
+        )
+        .unwrap();
+        AlarmIndex::build(vec![a]);
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan_on_generated_workload() {
+        let workload = crate::AlarmWorkload::generate(&crate::WorkloadConfig {
+            alarms: 500,
+            subscribers: 100,
+            universe: Rect::new(0.0, 0.0, 10_000.0, 10_000.0).unwrap(),
+            ..crate::WorkloadConfig::default()
+        });
+        let index = AlarmIndex::build(workload.alarms().to_vec());
+        let probe_user = user(17);
+        for k in 0..20 {
+            let p = Point::new(k as f64 * 500.0, (19 - k) as f64 * 500.0);
+            let (got, _) = index.relevant_at(probe_user, p);
+            let mut got: Vec<u64> = got.iter().map(|a| a.id().0).collect();
+            got.sort_unstable();
+            let mut expected: Vec<u64> = workload
+                .alarms()
+                .iter()
+                .filter(|a| a.contains(p) && a.is_relevant_to(probe_user))
+                .map(|a| a.id().0)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+}
+
+#[cfg(test)]
+mod nearest_tests {
+    use super::*;
+    use crate::{AlarmWorkload, WorkloadConfig};
+
+    #[test]
+    fn personal_lists_cover_private_and_shared_scopes() {
+        let universe = Rect::new(0.0, 0.0, 10_000.0, 10_000.0).unwrap();
+        let w = AlarmWorkload::generate(&WorkloadConfig {
+            alarms: 500,
+            subscribers: 50,
+            universe,
+            ..WorkloadConfig::default()
+        });
+        let index = AlarmIndex::build(w.alarms().to_vec());
+        let mut listed = 0usize;
+        for u in 0..50 {
+            let user = SubscriberId(u);
+            for &id in index.personal_alarms(user) {
+                let a = index.alarm(id);
+                assert!(!a.is_public());
+                assert!(a.is_relevant_to(user));
+                listed += 1;
+            }
+        }
+        // Every non-public alarm appears in at least its owner's list.
+        let non_public = w.alarms().iter().filter(|a| !a.is_public()).count();
+        assert!(listed >= non_public, "listed {listed} < non-public {non_public}");
+    }
+
+    #[test]
+    fn nearest_relevant_distance_matches_brute_force() {
+        let universe = Rect::new(0.0, 0.0, 10_000.0, 10_000.0).unwrap();
+        let w = AlarmWorkload::generate(&WorkloadConfig {
+            alarms: 400,
+            subscribers: 40,
+            universe,
+            seed: 99,
+            ..WorkloadConfig::default()
+        });
+        let index = AlarmIndex::build(w.alarms().to_vec());
+        for u in [0u32, 7, 23] {
+            let user = SubscriberId(u);
+            for k in 0..10 {
+                let pos = Point::new(k as f64 * 997.0 % 10_000.0, k as f64 * 773.0 % 10_000.0);
+                let (got, _) = index.nearest_relevant_distance(user, pos, |_| true);
+                let expected = w
+                    .alarms()
+                    .iter()
+                    .filter(|a| a.is_relevant_to(user))
+                    .map(|a| a.region().distance_to_point(pos))
+                    .min_by(|a, b| a.partial_cmp(b).unwrap());
+                match (got, expected) {
+                    (Some(g), Some(e)) => assert!((g - e).abs() < 1e-9, "user {u} probe {k}"),
+                    (None, None) => {}
+                    other => panic!("mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_relevant_distance_respects_filter() {
+        let universe = Rect::new(0.0, 0.0, 1_000.0, 1_000.0).unwrap();
+        let mk = |id: u64, x: f64| {
+            SpatialAlarm::around_static_target(
+                AlarmId(id),
+                Point::new(x, 500.0),
+                50.0,
+                crate::AlarmScope::Public { owner: SubscriberId(0) },
+            )
+            .unwrap()
+        };
+        let index = AlarmIndex::build(vec![mk(0, 300.0), mk(1, 700.0)]);
+        let _ = universe;
+        let pos = Point::new(200.0, 500.0);
+        let (all, _) = index.nearest_relevant_distance(SubscriberId(5), pos, |_| true);
+        assert!((all.unwrap() - 50.0).abs() < 1e-9); // alarm 0's edge at x=250
+        // Excluding alarm 0 (e.g. already fired) falls back to alarm 1.
+        let (filtered, _) =
+            index.nearest_relevant_distance(SubscriberId(5), pos, |id| id != AlarmId(0));
+        assert!((filtered.unwrap() - 450.0).abs() < 1e-9);
+        // Excluding everything yields none.
+        let (none, _) = index.nearest_relevant_distance(SubscriberId(5), pos, |_| false);
+        assert!(none.is_none());
+    }
+}
+
+#[cfg(test)]
+mod install_tests {
+    use super::*;
+    use crate::AlarmScope;
+
+    fn public(id: u64, x: f64, y: f64) -> SpatialAlarm {
+        SpatialAlarm::around_static_target(
+            AlarmId(id),
+            Point::new(x, y),
+            100.0,
+            AlarmScope::Public { owner: SubscriberId(0) },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn install_extends_queries_immediately() {
+        let mut index = AlarmIndex::build(vec![public(0, 1_000.0, 1_000.0)]);
+        assert!(index.relevant_at(SubscriberId(5), Point::new(5_000.0, 5_000.0)).0.is_empty());
+        index.install(public(1, 5_000.0, 5_000.0));
+        assert_eq!(index.len(), 2);
+        let (hits, _) = index.relevant_at(SubscriberId(5), Point::new(5_000.0, 5_000.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id(), AlarmId(1));
+    }
+
+    #[test]
+    fn install_updates_personal_lists() {
+        let mut index = AlarmIndex::build(vec![public(0, 0.0, 0.0)]);
+        let private = SpatialAlarm::around_static_target(
+            AlarmId(1),
+            Point::new(2_000.0, 2_000.0),
+            50.0,
+            AlarmScope::Private { owner: SubscriberId(9) },
+        )
+        .unwrap();
+        index.install(private);
+        assert_eq!(index.personal_alarms(SubscriberId(9)), &[AlarmId(1)]);
+        // And the nearest-relevant query sees it.
+        let (d, _) = index.nearest_relevant_distance(
+            SubscriberId(9),
+            Point::new(2_000.0, 2_500.0),
+            |_| true,
+        );
+        assert!((d.unwrap() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn install_then_deactivate_round_trips() {
+        let mut index = AlarmIndex::build(vec![public(0, 0.0, 0.0)]);
+        index.install(public(1, 3_000.0, 3_000.0));
+        assert!(index.deactivate(AlarmId(1)));
+        assert!(index.relevant_at(SubscriberId(2), Point::new(3_000.0, 3_000.0)).0.is_empty());
+        // Metadata survives deactivation.
+        assert_eq!(index.alarm(AlarmId(1)).id(), AlarmId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn install_rejects_id_gaps() {
+        let mut index = AlarmIndex::build(vec![public(0, 0.0, 0.0)]);
+        index.install(public(7, 1.0, 1.0));
+    }
+}

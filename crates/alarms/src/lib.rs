@@ -1,0 +1,57 @@
+//! The spatial alarm model of the paper's §1–§2.
+//!
+//! A *spatial alarm* is a one-shot, location-triggered reminder defined by
+//! three elements: an **alarm target** (the future location reference), an
+//! **owner** (its publisher) and its **subscribers**. Alarms are categorized
+//! along two axes:
+//!
+//! - *publish–subscribe scope*: [`AlarmScope::Private`],
+//!   [`AlarmScope::Shared`] and [`AlarmScope::Public`] (public alarms are
+//!   subscribed to by all mobile users, as the paper assumes),
+//! - *motion*: static or moving targets ([`AlarmTarget`]), static or moving
+//!   subscribers.
+//!
+//! The crate provides:
+//!
+//! - [`SpatialAlarm`] and its relevance rules,
+//! - [`AlarmWorkload`] / [`WorkloadConfig`] — the seeded workload generator
+//!   replicating the paper's default setup (10,000 alarms uniform over the
+//!   universe, 10% public, private:shared = 2:1),
+//! - [`AlarmIndex`] — the server-side R*-tree over installed alarm regions
+//!   with per-subscriber relevance filtering.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_alarms::{AlarmIndex, AlarmWorkload, SubscriberId, WorkloadConfig};
+//! use sa_geometry::{Point, Rect};
+//!
+//! # fn main() -> Result<(), sa_geometry::GeometryError> {
+//! let universe = Rect::new(0.0, 0.0, 10_000.0, 10_000.0)?;
+//! let workload = AlarmWorkload::generate(&WorkloadConfig {
+//!     alarms: 200,
+//!     subscribers: 50,
+//!     universe,
+//!     ..WorkloadConfig::default()
+//! });
+//! let index = AlarmIndex::build(workload.alarms().to_vec());
+//!
+//! let user = SubscriberId(3);
+//! let nearby = index.relevant_intersecting(user, Rect::new(0.0, 0.0, 2_000.0, 2_000.0)?);
+//! for alarm in nearby {
+//!     assert!(alarm.is_relevant_to(user));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alarm;
+mod index;
+mod workload;
+
+pub use alarm::{AlarmId, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
+pub use index::AlarmIndex;
+pub use workload::{AlarmWorkload, WorkloadConfig};

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the *client-side* containment detection
+//! cost per safe-region representation — the quantity the paper's energy
+//! model is built on (§2.1 "Fast Containment Check"): a rectangle costs 4
+//! comparisons, a pyramid bitmap at most one indexed probe per level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig, RectSafeRegion, SafeRegion};
+use sa_geometry::{Point, Rect};
+use std::hint::black_box;
+
+fn obstacles(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0..1_400.0);
+            let y = rng.gen_range(0.0..1_400.0);
+            let w = rng.gen_range(40.0..240.0);
+            let h = rng.gen_range(40.0..240.0);
+            Rect::new(x, y, (x + w).min(1_581.0), (y + h).min(1_581.0)).unwrap()
+        })
+        .collect()
+}
+
+fn probe_points(seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..256)
+        .map(|_| Point::new(rng.gen_range(0.0..1_581.0), rng.gen_range(0.0..1_581.0)))
+        .collect()
+}
+
+fn bench_rect_containment(c: &mut Criterion) {
+    let cell = Rect::new(0.0, 0.0, 1_581.0, 1_581.0).unwrap();
+    let obs = obstacles(24, 3);
+    let region: RectSafeRegion =
+        MwpsrComputer::non_weighted().compute(Point::new(700.0, 700.0), 0.0, cell, &obs);
+    let points = probe_points(5);
+    c.bench_function("containment/rect", |b| {
+        b.iter(|| {
+            let mut inside = 0usize;
+            for p in &points {
+                if region.contains(black_box(*p)) {
+                    inside += 1;
+                }
+            }
+            black_box(inside)
+        })
+    });
+}
+
+fn bench_bitmap_containment(c: &mut Criterion) {
+    let cell = Rect::new(0.0, 0.0, 1_581.0, 1_581.0).unwrap();
+    let obs = obstacles(24, 3);
+    let points = probe_points(5);
+
+    let mut group = c.benchmark_group("containment/bitmap");
+    for h in [1u32, 3, 5, 7] {
+        let region = PyramidComputer::new(PyramidConfig::three_by_three(h)).compute(cell, &obs);
+        group.bench_with_input(BenchmarkId::new("height", h), &region, |b, region| {
+            b.iter(|| {
+                let mut inside = 0usize;
+                for p in &points {
+                    if region.contains(black_box(*p)) {
+                        inside += 1;
+                    }
+                }
+                black_box(inside)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_client_evaluation(c: &mut Criterion) {
+    // The OPT client's per-fix work: test every alarm in the cell.
+    let points = probe_points(9);
+    let mut group = c.benchmark_group("containment/opt_alarm_set");
+    for n in [4usize, 16, 64] {
+        let obs = obstacles(n, 11);
+        group.bench_with_input(BenchmarkId::new("alarms", n), &obs, |b, obs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &points {
+                    for r in obs {
+                        if r.contains_point_strict(black_box(*p)) {
+                            hits += 1;
+                        }
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rect_containment,
+    bench_bitmap_containment,
+    bench_opt_client_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for server-side safe-region computation:
+//! MWPSR (rectangular, §3) and PBSR (pyramid bitmap, §4) as functions of
+//! the number of alarm regions intersecting the grid cell and the pyramid
+//! height. These measure the real wall-clock cost that the simulation's
+//! operation-count model abstracts (see `DESIGN.md` §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
+use sa_geometry::{MotionPdf, Point, Rect};
+use std::hint::black_box;
+
+fn obstacles(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0..1_400.0);
+            let y = rng.gen_range(0.0..1_400.0);
+            let w = rng.gen_range(40.0..240.0);
+            let h = rng.gen_range(40.0..240.0);
+            Rect::new(x, y, (x + w).min(1_581.0), (y + h).min(1_581.0)).unwrap()
+        })
+        .collect()
+}
+
+fn bench_mwpsr(c: &mut Criterion) {
+    let cell = Rect::new(0.0, 0.0, 1_581.0, 1_581.0).unwrap();
+    let user = Point::new(790.0, 820.0);
+    let weighted = MwpsrComputer::new(MotionPdf::new(1.0, 32).unwrap());
+    let plain = MwpsrComputer::non_weighted();
+
+    let mut group = c.benchmark_group("mwpsr_compute");
+    for n in [4usize, 16, 64, 256] {
+        let obs = obstacles(n, 42);
+        group.bench_with_input(BenchmarkId::new("weighted_z32", n), &obs, |b, obs| {
+            b.iter(|| black_box(weighted.compute(user, 0.3, cell, obs)))
+        });
+        group.bench_with_input(BenchmarkId::new("non_weighted", n), &obs, |b, obs| {
+            b.iter(|| black_box(plain.compute(user, 0.3, cell, obs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbsr(c: &mut Criterion) {
+    let cell = Rect::new(0.0, 0.0, 1_581.0, 1_581.0).unwrap();
+    let obs = obstacles(24, 7);
+
+    let mut group = c.benchmark_group("pbsr_compute");
+    for h in [1u32, 3, 5, 7] {
+        let computer = PyramidComputer::new(PyramidConfig::three_by_three(h));
+        group.bench_with_input(BenchmarkId::new("height", h), &obs, |b, obs| {
+            b.iter(|| black_box(computer.compute(cell, obs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mwpsr, bench_pbsr);
+criterion_main!(benches);

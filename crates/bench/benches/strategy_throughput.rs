@@ -1,0 +1,39 @@
+//! Criterion benchmark for end-to-end strategy throughput: how many
+//! location samples per second each processing strategy sustains on a
+//! small shared world. This is the simulator-level analogue of the
+//! server-scalability argument of §5 — periodic processing pays an index
+//! probe per sample, safe-region strategies amortize almost everything
+//! into client-local checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sa_sim::{SimulationConfig, SimulationHarness, StrategyKind};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    // A small world: 12 vehicles x 240 s = 2,880 samples per run.
+    let config = SimulationConfig::smoke_test();
+    let harness = SimulationHarness::build(&config);
+    let samples = harness.total_samples();
+
+    let mut group = c.benchmark_group("strategy_throughput");
+    group.throughput(Throughput::Elements(samples));
+    group.sample_size(10);
+    for (name, kind) in [
+        ("PRD", StrategyKind::Periodic),
+        ("SP", StrategyKind::SafePeriod),
+        ("MWPSR", StrategyKind::Mwpsr { y: 1.0, z: 32 }),
+        ("PBSR_h5", StrategyKind::Pbsr { height: 5 }),
+        ("OPT", StrategyKind::Optimal),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let report = harness.run(kind);
+                black_box(report.metrics.uplink_messages)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

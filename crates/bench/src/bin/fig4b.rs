@@ -1,0 +1,52 @@
+//! Figure 4(b): server processing time (alarm processing vs safe-region
+//! computation vs total) for the weighted perimeter approach (y = 1,
+//! z = 32) as the grid cell size sweeps {0.4, 0.625, 1.11, 2.5, 10} km².
+//!
+//! Paper shape: alarm-processing time falls with cell size (fewer location
+//! messages reach the index), safe-region-computation time rises (more
+//! alarms intersect each larger cell), and the total bottoms out at an
+//! interior cell size (2.5 km² in the paper).
+
+use sa_bench::{append_csv, averaged_runs, render_table, BenchOpts};
+use sa_sim::{SimulationHarness, StrategyKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let cell_sizes = [0.4, 0.625, 1.11, 2.5, 10.0];
+    let kind = StrategyKind::Mwpsr { y: 1.0, z: 32 };
+
+    let base: Vec<SimulationHarness> =
+        (0..opts.seeds).map(|seed| SimulationHarness::build(&opts.config(seed))).collect();
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &cell in &cell_sizes {
+        let avg = averaged_runs(&opts, kind, |seed| base[seed as usize].with_cell_area(cell));
+        rows.push(vec![
+            format!("{cell}"),
+            format!("{:.3}", avg.alarm_minutes),
+            format!("{:.3}", avg.region_minutes),
+            format!("{:.3}", avg.total_minutes()),
+        ]);
+        csv_rows.push(format!(
+            "{cell},{:.5},{:.5},{:.5}",
+            avg.alarm_minutes,
+            avg.region_minutes,
+            avg.total_minutes()
+        ));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Figure 4(b): server processing time (minutes) vs grid cell size, MWPSR y=1 z=32",
+            &["Cell (km²)", "Alarm Processing", "Safe Region Computation", "Total"],
+            &rows,
+        )
+    );
+
+    if let Some(path) = &opts.csv {
+        append_csv(path, "cell_km2,alarm_min,region_min,total_min", &csv_rows)
+            .expect("csv write failed");
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 5(a): number of client-to-server messages for the bitmap
+//! safe-region approaches as the pyramid height sweeps h = 1 (GBSR) … 7,
+//! for 1%, 10% and 20% public alarms.
+//!
+//! Paper shape: GBSR (h = 1) is by far the worst — its coarse bitmap
+//! strands clients in blocked cells where they must report every sample;
+//! messages drop sharply as h grows; higher public-alarm density degrades
+//! every height.
+
+use sa_bench::{append_csv, averaged_runs, render_table, BenchOpts};
+use sa_sim::{SimulationHarness, StrategyKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let heights = [1u32, 2, 3, 4, 5, 6, 7];
+    let public_pcts = [0.01, 0.10, 0.20];
+
+    // One harness per (public %, seed); heights share it.
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut harnesses: Vec<Vec<SimulationHarness>> = Vec::new();
+    for &pct in &public_pcts {
+        harnesses.push(
+            (0..opts.seeds)
+                .map(|seed| {
+                    let mut config = opts.config(seed);
+                    config.workload.public_fraction = pct;
+                    SimulationHarness::build(&config)
+                })
+                .collect(),
+        );
+    }
+
+    for &h in &heights {
+        let mut row = vec![format!("{h}")];
+        for (pi, &pct) in public_pcts.iter().enumerate() {
+            let avg = averaged_runs(&opts, StrategyKind::Pbsr { height: h }, |seed| {
+                &harnesses[pi][seed as usize]
+            });
+            row.push(format!("{:.4}", avg.uplink_messages / 1.0e6));
+            csv_rows.push(format!("{h},{pct},{}", avg.uplink_messages));
+        }
+        rows.push(row);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Figure 5(a): client-to-server messages (millions) vs pyramid height",
+            &["h", "1% public", "10% public", "20% public"],
+            &rows,
+        )
+    );
+
+    if let Some(path) = &opts.csv {
+        append_csv(path, "height,public_fraction,messages", &csv_rows).expect("csv write failed");
+    }
+}

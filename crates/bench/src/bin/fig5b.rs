@@ -1,0 +1,58 @@
+//! Figure 5(b): client energy consumption (mWh) for the bitmap safe-region
+//! approaches as the pyramid height sweeps h = 1 (GBSR) … 7, for 1%, 10%
+//! and 20% public alarms.
+//!
+//! Paper shape: energy is low and height-insensitive at low public-alarm
+//! density; at higher densities deeper pyramids cost noticeably more
+//! because containment detections descend more levels (the paper reports
+//! 2–3 detections/s for GBSR vs 6–7 for h = 7 at 20% public).
+
+use sa_bench::{append_csv, averaged_runs, render_table, BenchOpts};
+use sa_sim::{SimulationHarness, StrategyKind};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let heights = [1u32, 2, 3, 4, 5, 6, 7];
+    let public_pcts = [0.01, 0.10, 0.20];
+
+    let mut harnesses: Vec<Vec<SimulationHarness>> = Vec::new();
+    for &pct in &public_pcts {
+        harnesses.push(
+            (0..opts.seeds)
+                .map(|seed| {
+                    let mut config = opts.config(seed);
+                    config.workload.public_fraction = pct;
+                    SimulationHarness::build(&config)
+                })
+                .collect(),
+        );
+    }
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &h in &heights {
+        let mut row = vec![format!("{h}")];
+        for (pi, &pct) in public_pcts.iter().enumerate() {
+            let avg = averaged_runs(&opts, StrategyKind::Pbsr { height: h }, |seed| {
+                &harnesses[pi][seed as usize]
+            });
+            row.push(format!("{:.2}", avg.check_energy_mwh));
+            csv_rows.push(format!("{h},{pct},{:.4}", avg.check_energy_mwh));
+        }
+        rows.push(row);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Figure 5(b): client energy consumption (mWh) vs pyramid height",
+            &["h", "1% public", "10% public", "20% public"],
+            &rows,
+        )
+    );
+
+    if let Some(path) = &opts.csv {
+        append_csv(path, "height,public_fraction,energy_mwh", &csv_rows)
+            .expect("csv write failed");
+    }
+}

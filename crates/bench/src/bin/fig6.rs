@@ -1,0 +1,211 @@
+//! Figure 6: safe-region approaches vs the other strategies at 1%, 10% and
+//! 20% public alarms. Four panels:
+//!
+//! - (a) client-to-server messages ×10⁶ for MWPSR, PBSR(h=5), SP, OPT
+//!   (PRD is reported separately — it sends *every* sample),
+//! - (b) downstream bandwidth (Mbps) for MWPSR, PBSR, OPT,
+//! - (c) client energy consumption (mWh) for MWPSR, PBSR, OPT,
+//! - (d) server processing time split (alarm processing / safe-region
+//!   computation) for PR, MW, PB, SP, OP at 1% and 10% public.
+//!
+//! Paper shapes: OPT < safe regions < SP ≪ PRD on messages (SP ≈ 2–3× the
+//! safe-region approaches); OPT ≫ PBSR/MWPSR on bandwidth and energy; PRD's
+//! server load dwarfs everything and is density-insensitive.
+//!
+//! Pass `--part a|b|c|d|all` (default `all`).
+
+use sa_bench::{append_csv, averaged_runs, render_table, AveragedRun, BenchOpts};
+use sa_sim::{SimulationHarness, StrategyKind};
+use std::collections::HashMap;
+
+fn main() {
+    // Extract --part before the shared parser sees it.
+    let mut part = "all".to_string();
+    let raw: Vec<String> = std::env::args().collect();
+    let mut filtered = vec![raw[0].clone()];
+    let mut i = 1;
+    while i < raw.len() {
+        if raw[i] == "--part" {
+            part = raw.get(i + 1).expect("--part expects a|b|c|d|all").clone();
+            i += 2;
+        } else {
+            filtered.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    // Re-inject the filtered args for BenchOpts.
+    let opts = parse_opts(&filtered);
+
+    let public_pcts = [0.01, 0.10, 0.20];
+    let strategies: [(&str, StrategyKind); 6] = [
+        ("PRD", StrategyKind::Periodic),
+        ("MWPSR", StrategyKind::Mwpsr { y: 1.0, z: 32 }),
+        ("PBSR", StrategyKind::Pbsr { height: 5 }),
+        ("PBSR-B", StrategyKind::PbsrBroadcast { height: 5 }),
+        ("SP", StrategyKind::SafePeriod),
+        ("OPT", StrategyKind::Optimal),
+    ];
+
+    let harnesses: Vec<Vec<SimulationHarness>> = public_pcts
+        .iter()
+        .map(|&pct| {
+            (0..opts.seeds)
+                .map(|seed| {
+                    let mut config = opts.config(seed);
+                    config.workload.public_fraction = pct;
+                    SimulationHarness::build(&config)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Run everything once, reuse per panel.
+    let mut results: HashMap<(&str, usize), AveragedRun> = HashMap::new();
+    for (pi, _) in public_pcts.iter().enumerate() {
+        for (name, kind) in &strategies {
+            let avg = averaged_runs(&opts, *kind, |seed| &harnesses[pi][seed as usize]);
+            results.insert((*name, pi), avg);
+        }
+    }
+    let get = |name: &'static str, pi: usize| -> &AveragedRun {
+        results.get(&(name, pi)).expect("run exists")
+    };
+
+    let pct_label = ["1", "10", "20"];
+    let mut csv_rows = Vec::new();
+
+    if part == "all" || part == "a" {
+        let mut rows = Vec::new();
+        for name in ["MWPSR", "PBSR", "SP", "OPT"] {
+            let mut row = vec![name.to_string()];
+            for pi in 0..3 {
+                row.push(format!("{:.4}", get(name, pi).uplink_messages / 1.0e6));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                "Figure 6(a): client-to-server messages (millions) by % public alarms",
+                &["Strategy", "1%", "10%", "20%"],
+                &rows,
+            )
+        );
+        println!(
+            "(PRD sends every sample: {:.2}M messages at every density)\n",
+            get("PRD", 1).uplink_messages / 1.0e6
+        );
+    }
+
+    if part == "all" || part == "b" {
+        let mut rows = Vec::new();
+        for name in ["MWPSR", "PBSR", "PBSR-B", "OPT"] {
+            let mut row = vec![name.to_string()];
+            for pi in 0..3 {
+                row.push(format!("{:.4}", get(name, pi).downlink_mbps));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                "Figure 6(b): downstream bandwidth (Mbps) by % public alarms",
+                &["Strategy", "1%", "10%", "20%"],
+                &rows,
+            )
+        );
+        println!(
+            "(PBSR-B is PBSR with the paper's §4.2 public-bitmap broadcast optimization;\n\
+              its per-epoch broadcast of every cell's public bitmap is included)\n"
+        );
+    }
+
+    if part == "all" || part == "c" {
+        let mut rows = Vec::new();
+        for name in ["MWPSR", "PBSR", "OPT"] {
+            let mut row = vec![name.to_string()];
+            for pi in 0..3 {
+                row.push(format!("{:.2}", get(name, pi).check_energy_mwh));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                "Figure 6(c): client energy consumption (mWh) by % public alarms",
+                &["Strategy", "1%", "10%", "20%"],
+                &rows,
+            )
+        );
+    }
+
+    if part == "all" || part == "d" {
+        let mut rows = Vec::new();
+        for pi in 0..2 {
+            for (label, name) in
+                [("PR", "PRD"), ("MW", "MWPSR"), ("PB", "PBSR"), ("SP", "SP"), ("OP", "OPT")]
+            {
+                let avg = get(name, pi);
+                rows.push(vec![
+                    format!("{}%", pct_label[pi]),
+                    label.to_string(),
+                    format!("{:.3}", avg.alarm_minutes),
+                    format!("{:.3}", avg.region_minutes),
+                    format!("{:.3}", avg.total_minutes()),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                "Figure 6(d): server processing time (minutes) by % public alarms",
+                &["Public", "Strategy", "Alarm Processing", "Safe Region Computation", "Total"],
+                &rows,
+            )
+        );
+    }
+
+    for (pi, pct) in public_pcts.iter().enumerate() {
+        for (name, _) in &strategies {
+            let avg = get(name, pi);
+            csv_rows.push(format!(
+                "{pct},{name},{},{:.5},{:.4},{:.5},{:.5}",
+                avg.uplink_messages,
+                avg.downlink_mbps,
+                avg.client_energy_mwh,
+                avg.alarm_minutes,
+                avg.region_minutes
+            ));
+        }
+    }
+    if let Some(path) = &opts.csv {
+        append_csv(
+            path,
+            "public_fraction,strategy,messages,downlink_mbps,energy_mwh,alarm_min,region_min",
+            &csv_rows,
+        )
+        .expect("csv write failed");
+    }
+}
+
+/// Parses the shared options from an explicit argument vector.
+fn parse_opts(args: &[String]) -> BenchOpts {
+    let mut opts = BenchOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scale" => opts.scale = value(i).parse().expect("--scale expects a float"),
+            "--seeds" => opts.seeds = value(i).parse().expect("--seeds expects an integer"),
+            "--duration" => opts.duration_s = value(i).parse().expect("--duration expects seconds"),
+            "--csv" => opts.csv = Some(value(i).into()),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    opts
+}

@@ -1,0 +1,237 @@
+//! Shared plumbing for the experiment binaries that regenerate every table
+//! and figure of the paper's §5 evaluation (see `DESIGN.md` §3 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results).
+//!
+//! Each `fig*` binary accepts:
+//!
+//! - `--scale F` — workload scale relative to the paper (default `0.05`:
+//!   500 vehicles / 500 alarms; `1.0` = the paper's 10,000 / 10,000),
+//! - `--seeds N` — number of independent traces to average over
+//!   (default 1; the paper averages "over a number of such traces"),
+//! - `--duration S` — simulated seconds (default 3600, the paper's hour),
+//! - `--csv PATH` — also append machine-readable rows to `PATH`.
+
+#![forbid(unsafe_code)]
+
+use sa_sim::{RunReport, SimulationConfig, SimulationHarness, StrategyKind};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Workload scale relative to the paper's setup.
+    pub scale: f64,
+    /// Number of independent traces to average over.
+    pub seeds: u32,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts { scale: 0.05, seeds: 1, duration_s: 3_600.0, csv: None }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args`; panics with a usage message on bad input.
+    pub fn from_args() -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--scale" => opts.scale = value().parse().expect("--scale expects a float"),
+                "--seeds" => opts.seeds = value().parse().expect("--seeds expects an integer"),
+                "--duration" => {
+                    opts.duration_s = value().parse().expect("--duration expects seconds")
+                }
+                "--csv" => opts.csv = Some(PathBuf::from(value())),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale F] [--seeds N] [--duration S] [--csv PATH]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(opts.scale > 0.0 && opts.scale <= 1.0, "--scale must be in (0, 1]");
+        assert!(opts.seeds >= 1, "--seeds must be at least 1");
+        opts
+    }
+
+    /// The base simulation config at this scale/duration, with trace seed
+    /// `seed_index` (0-based).
+    pub fn config(&self, seed_index: u32) -> SimulationConfig {
+        let mut config = SimulationConfig::scaled(self.scale);
+        config.duration_s = self.duration_s;
+        config.fleet.seed ^= (seed_index as u64) << 32;
+        config.workload.seed ^= (seed_index as u64) << 32;
+        config
+    }
+}
+
+/// A run averaged over the configured number of seeded traces. Every
+/// individual run must pass the 100% accuracy check. The closure may
+/// return either owned harnesses (e.g. re-gridded copies) or references to
+/// prebuilt ones.
+pub fn averaged_runs<H: std::borrow::Borrow<SimulationHarness>>(
+    opts: &BenchOpts,
+    kind: StrategyKind,
+    harness_for_seed: impl Fn(u32) -> H,
+) -> AveragedRun {
+    let mut acc = AveragedRun::default();
+    for seed in 0..opts.seeds {
+        let harness = harness_for_seed(seed);
+        let harness = harness.borrow();
+        let report = harness.run(kind);
+        report.assert_accurate();
+        acc.add(&report, harness.total_samples());
+    }
+    acc.finalize(opts.seeds);
+    acc
+}
+
+/// Metric averages across seeded traces.
+#[derive(Debug, Clone, Default)]
+pub struct AveragedRun {
+    /// Mean uplink message count.
+    pub uplink_messages: f64,
+    /// Mean downlink megabits per second.
+    pub downlink_mbps: f64,
+    /// Mean client energy (mWh, default energy model, radio included).
+    pub client_energy_mwh: f64,
+    /// Mean containment-detection-only client energy (mWh) — the Figure
+    /// 5(b)/6(c) measure.
+    pub check_energy_mwh: f64,
+    /// Mean server alarm-processing minutes (default cost model).
+    pub alarm_minutes: f64,
+    /// Mean server safe-region-computation minutes.
+    pub region_minutes: f64,
+    /// Mean total trace samples (for "% of samples sent" readouts).
+    pub total_samples: f64,
+    /// Mean triggers fired.
+    pub triggers: f64,
+}
+
+impl AveragedRun {
+    fn add(&mut self, report: &RunReport, total_samples: u64) {
+        let energy = sa_sim::EnergyModel::default();
+        let cost = sa_sim::ServerCostModel::default();
+        let (alarm_min, region_min) = report.server_minutes(&cost);
+        self.uplink_messages += report.metrics.uplink_messages as f64;
+        self.downlink_mbps += report.downlink_mbps();
+        self.client_energy_mwh += report.client_energy_mwh(&energy);
+        self.check_energy_mwh += report.metrics.client_check_energy_mwh(&energy);
+        self.alarm_minutes += alarm_min;
+        self.region_minutes += region_min;
+        self.total_samples += total_samples as f64;
+        self.triggers += report.metrics.triggers as f64;
+    }
+
+    fn finalize(&mut self, seeds: u32) {
+        let n = seeds as f64;
+        self.uplink_messages /= n;
+        self.downlink_mbps /= n;
+        self.client_energy_mwh /= n;
+        self.check_energy_mwh /= n;
+        self.alarm_minutes /= n;
+        self.region_minutes /= n;
+        self.total_samples /= n;
+        self.triggers /= n;
+    }
+
+    /// Total server minutes.
+    pub fn total_minutes(&self) -> f64 {
+        self.alarm_minutes + self.region_minutes
+    }
+
+    /// Uplink messages as a percentage of raw trace samples.
+    pub fn message_percentage(&self) -> f64 {
+        100.0 * self.uplink_messages / self.total_samples.max(1.0)
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    let line = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", line(&header_cells, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        let _ = writeln!(out, "{}", line(row, &widths));
+    }
+    out
+}
+
+/// Appends CSV rows (with a header when the file is new).
+pub fn append_csv(path: &std::path::Path, header: &str, rows: &[String]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let new = !path.exists();
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if new {
+        writeln!(file, "{header}")?;
+    }
+    for row in rows {
+        writeln!(file, "{row}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_are_laptop_sized() {
+        let o = BenchOpts::default();
+        assert!(o.scale <= 0.1);
+        assert_eq!(o.seeds, 1);
+        let c = o.config(0);
+        c.validate();
+    }
+
+    #[test]
+    fn seed_index_changes_trace_but_not_shape() {
+        let o = BenchOpts::default();
+        let a = o.config(0);
+        let b = o.config(1);
+        assert_ne!(a.fleet.seed, b.fleet.seed);
+        assert_eq!(a.fleet.vehicles, b.fleet.vehicles);
+        assert_eq!(a.workload.alarms, b.workload.alarms);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            "demo",
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and data lines align on the right edge.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+}

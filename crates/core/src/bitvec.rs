@@ -1,0 +1,326 @@
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// A compact growable bit vector used for bitmap-encoded safe regions.
+///
+/// Bits are appended with [`BitVec::push`] and addressed by index; the
+/// wire form ([`BitVec::to_bytes`]) packs bits MSB-first into octets, which
+/// is what the downstream-bandwidth accounting of the evaluation charges.
+///
+/// ```
+/// use sa_core::BitVec;
+/// let mut bits = BitVec::new();
+/// for b in [false, true, true, false, true] {
+///     bits.push(b);
+/// }
+/// assert_eq!(bits.len(), 5);
+/// assert_eq!(bits.get(1), Some(true));
+/// assert_eq!(bits.count_ones(), 3);
+/// assert_eq!(bits.to_bitstring(), "01101");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> BitVec {
+        BitVec::default()
+    }
+
+    /// An empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> BitVec {
+        BitVec { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    /// Number of stored bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let offset = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// The bit at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        Some((self.words[index / 64] >> (index % 64)) & 1 == 1)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Number of **clear** bits strictly before `index` — the rank query
+    /// used to locate a blocked cell's child block in the next pyramid
+    /// level. Linear scan; build a [`RankedBits`] for O(1) queries on a
+    /// frozen bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index > len`.
+    pub fn rank_zeros(&self, index: usize) -> usize {
+        assert!(index <= self.len, "rank index {index} out of bounds {}", self.len);
+        let full_words = index / 64;
+        let mut ones = 0usize;
+        for w in &self.words[..full_words] {
+            ones += w.count_ones() as usize;
+        }
+        let rem = index % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            ones += (self.words[full_words] & mask).count_ones() as usize;
+        }
+        index - ones
+    }
+
+    /// Freezes the bitmap with a per-word rank directory for O(1)
+    /// [`RankedBits::rank_zeros`] queries — what the client builds once per
+    /// received pyramid level so each containment descent stays cheap.
+    pub fn into_ranked(self) -> RankedBits {
+        let mut prefix_ones = Vec::with_capacity(self.words.len() + 1);
+        let mut acc = 0u64;
+        prefix_ones.push(0);
+        for w in &self.words {
+            acc += w.count_ones() as u64;
+            prefix_ones.push(acc);
+        }
+        RankedBits { bits: self, prefix_ones }
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("index in range"))
+    }
+
+    /// Serializes MSB-first into octets (the wire format whose size the
+    /// bandwidth model charges).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.len.div_ceil(8));
+        let mut cur = 0u8;
+        for (i, bit) in self.iter().enumerate() {
+            if bit {
+                cur |= 1 << (7 - (i % 8));
+            }
+            if i % 8 == 7 {
+                buf.put_u8(cur);
+                cur = 0;
+            }
+        }
+        if self.len % 8 != 0 {
+            buf.put_u8(cur);
+        }
+        buf.freeze()
+    }
+
+    /// Renders the bits as a `0`/`1` string (for tests and examples).
+    pub fn to_bitstring(&self) -> String {
+        self.iter().map(|b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+/// A frozen bit vector with an O(1) zero-rank directory.
+///
+/// Built once per pyramid level when a [`crate::BitmapSafeRegion`] is
+/// assembled; every client containment descent then locates its child
+/// block in constant time instead of scanning the level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedBits {
+    bits: BitVec,
+    /// `prefix_ones[w]` = set bits in words `0..w`.
+    prefix_ones: Vec<u64>,
+}
+
+impl RankedBits {
+    /// Number of stored bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        self.bits.get(index)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        *self.prefix_ones.last().expect("prefix has a sentinel") as usize
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.count_ones()
+    }
+
+    /// Number of clear bits strictly before `index`, in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index > len`.
+    pub fn rank_zeros(&self, index: usize) -> usize {
+        assert!(index <= self.bits.len, "rank index {index} out of bounds {}", self.bits.len);
+        let word = index / 64;
+        let rem = index % 64;
+        let mut ones = self.prefix_ones[word];
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            ones += (self.bits.words[word] & mask).count_ones() as u64;
+        }
+        index - ones as usize
+    }
+
+    /// Read access to the underlying bits.
+    pub fn as_bitvec(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bitstring())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> BitVec {
+        let mut bv = BitVec::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_across_word_boundaries() {
+        let mut bv = BitVec::new();
+        for i in 0..200 {
+            bv.push(i % 3 == 0);
+        }
+        assert_eq!(bv.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bv.get(i), Some(i % 3 == 0), "bit {i}");
+        }
+        assert_eq!(bv.get(200), None);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let bv: BitVec = (0..100).map(|i| i % 4 == 0).collect();
+        assert_eq!(bv.count_ones(), 25);
+        assert_eq!(bv.count_zeros(), 75);
+        assert_eq!(bv.count_ones() + bv.count_zeros(), bv.len());
+    }
+
+    #[test]
+    fn rank_zeros_matches_linear_scan() {
+        let bv: BitVec = (0..150).map(|i| (i * 7) % 5 < 2).collect();
+        for idx in 0..=150 {
+            let expected = (0..idx).filter(|&i| !bv.get(i).unwrap()).count();
+            assert_eq!(bv.rank_zeros(idx), expected, "rank at {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rank_past_end_panics() {
+        let bv: BitVec = [true, false].into_iter().collect();
+        bv.rank_zeros(3);
+    }
+
+    #[test]
+    fn byte_serialization_is_msb_first() {
+        let bv: BitVec = "01101001".chars().map(|c| c == '1').collect();
+        assert_eq!(bv.to_bytes().as_ref(), &[0b0110_1001]);
+        // Partial trailing byte is zero-padded.
+        let bv: BitVec = "101".chars().map(|c| c == '1').collect();
+        assert_eq!(bv.to_bytes().as_ref(), &[0b1010_0000]);
+    }
+
+    #[test]
+    fn bitstring_round_trip() {
+        let s = "0000011010";
+        let bv: BitVec = s.chars().map(|c| c == '1').collect();
+        assert_eq!(bv.to_bitstring(), s);
+        assert_eq!(format!("{bv}"), s);
+    }
+
+    #[test]
+    fn empty_bitvec() {
+        let bv = BitVec::new();
+        assert!(bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.rank_zeros(0), 0);
+        assert!(bv.to_bytes().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod ranked_tests {
+    use super::*;
+
+    #[test]
+    fn ranked_rank_matches_linear_rank() {
+        let bv: BitVec = (0..500).map(|i| (i * 13) % 7 < 3).collect();
+        let linear: Vec<usize> = (0..=500).map(|i| bv.rank_zeros(i)).collect();
+        let ranked = bv.into_ranked();
+        for (i, &expected) in linear.iter().enumerate() {
+            assert_eq!(ranked.rank_zeros(i), expected, "rank at {i}");
+        }
+        assert_eq!(ranked.count_ones() + ranked.count_zeros(), 500);
+    }
+
+    #[test]
+    fn ranked_preserves_bits() {
+        let bv: BitVec = "0110010111".chars().map(|c| c == '1').collect();
+        let ranked = bv.clone().into_ranked();
+        assert_eq!(ranked.len(), bv.len());
+        for i in 0..bv.len() {
+            assert_eq!(ranked.get(i), bv.get(i));
+        }
+        assert_eq!(ranked.as_bitvec(), &bv);
+        assert!(!ranked.is_empty());
+    }
+
+    #[test]
+    fn empty_ranked_bits() {
+        let ranked = BitVec::new().into_ranked();
+        assert!(ranked.is_empty());
+        assert_eq!(ranked.rank_zeros(0), 0);
+        assert_eq!(ranked.count_ones(), 0);
+    }
+}

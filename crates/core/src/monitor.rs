@@ -1,0 +1,86 @@
+use sa_geometry::{Point, Rect};
+
+/// The client-side view of a safe region: a compact structure received from
+/// the server that the mobile device checks its position against on every
+/// GPS fix.
+///
+/// The two cost accessors drive the evaluation's resource models:
+///
+/// - [`SafeRegion::encoded_bits`] — the downstream payload size charged to
+///   the server-to-client bandwidth (Figure 6(b)),
+/// - [`SafeRegion::worst_case_check_ops`] — the bounded per-check client
+///   work charged to the energy model (Figures 5(b), 6(c)).
+pub trait SafeRegion {
+    /// True while the subscriber may stay silent: no relevant alarm can
+    /// trigger at `p`.
+    fn contains(&self, p: Point) -> bool;
+
+    /// Size of the wire encoding in bits.
+    fn encoded_bits(&self) -> usize;
+
+    /// Upper bound on the number of primitive comparisons one containment
+    /// check costs on the client.
+    fn worst_case_check_ops(&self) -> usize;
+}
+
+/// A rectangular safe region — the output of the maximum weighted perimeter
+/// computation (§3). Ships as four 32-bit coordinates and checks with four
+/// comparisons, the cheapest possible monitoring for weak clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectSafeRegion {
+    rect: Rect,
+}
+
+impl RectSafeRegion {
+    /// Wraps a computed safe-region rectangle.
+    pub fn new(rect: Rect) -> RectSafeRegion {
+        RectSafeRegion { rect }
+    }
+
+    /// The safe rectangle.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+}
+
+impl SafeRegion for RectSafeRegion {
+    fn contains(&self, p: Point) -> bool {
+        self.rect.contains_point(p)
+    }
+
+    fn encoded_bits(&self) -> usize {
+        // Two corner points at 32-bit fixed-point precision each.
+        4 * 32
+    }
+
+    fn worst_case_check_ops(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_region_contains_matches_rect() {
+        let r = RectSafeRegion::new(Rect::new(0.0, 0.0, 10.0, 10.0).unwrap());
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn rect_region_costs_are_constant() {
+        let r = RectSafeRegion::new(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap());
+        assert_eq!(r.encoded_bits(), 128);
+        assert_eq!(r.worst_case_check_ops(), 4);
+    }
+
+    #[test]
+    fn trait_object_usability() {
+        let r = RectSafeRegion::new(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap());
+        let dyn_region: &dyn SafeRegion = &r;
+        assert!(dyn_region.contains(Point::new(0.5, 0.5)));
+    }
+}

@@ -1,0 +1,710 @@
+use crate::{BitVec, RankedBits, SafeRegion};
+use sa_geometry::{Point, Rect, RectilinearRegion};
+
+/// Parameters of the bitmap-encoded safe-region pyramid (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PyramidConfig {
+    /// Horizontal split factor `U` (paper figures use 3).
+    pub split_u: u32,
+    /// Vertical split factor `V` (paper figures use 3).
+    pub split_v: u32,
+    /// Pyramid height `h`: number of recursive splits. `h = 1` is the
+    /// Grid Bitmap-encoded Safe Region (GBSR); `h ≥ 2` is the Pyramid
+    /// Bitmap-encoded Safe Region (PBSR).
+    pub height: u32,
+}
+
+impl PyramidConfig {
+    /// A 3×3 pyramid of the given height — the configuration of the
+    /// paper's figures (GBSR at `h = 1`, Figure 3(d) at `h = 2`,
+    /// Figure 6 uses `h = 5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `height` is zero.
+    pub fn three_by_three(height: u32) -> PyramidConfig {
+        assert!(height >= 1, "pyramid height must be at least 1");
+        PyramidConfig { split_u: 3, split_v: 3, height }
+    }
+
+    /// The single-level GBSR configuration with a `u × v` grid (Figure 3(b)
+    /// uses 3×3; Figure 3(c) uses 9×9).
+    pub fn gbsr(u: u32, v: u32) -> PyramidConfig {
+        assert!(u >= 2 && v >= 2, "grid split factors must be at least 2");
+        PyramidConfig { split_u: u, split_v: v, height: 1 }
+    }
+
+    fn validate(&self) {
+        assert!(self.split_u >= 2 && self.split_v >= 2, "split factors must be at least 2");
+        assert!(self.height >= 1, "pyramid height must be at least 1");
+    }
+
+    /// Children per split.
+    fn fanout(&self) -> usize {
+        (self.split_u * self.split_v) as usize
+    }
+}
+
+/// Computes bitmap-encoded safe regions (GBSR for height 1, PBSR for
+/// height ≥ 2) for a subscriber's grid cell.
+///
+/// A cell's bit is `1` when no relevant alarm region intersects its
+/// interior ("the entire cell belongs to the safe region", Proposition 2);
+/// otherwise the bit is `0` and — below the configured height — the cell is
+/// split into `U × V` children encoded at the next level. Bits are laid out
+/// level by level; within a level, blocked parents contribute their child
+/// blocks in parent-bit order, each block in raster order (top row first,
+/// matching Figure 3).
+///
+/// The stored representation is sparse: a blocked cell that lies entirely
+/// inside a single alarm region is *solid* — all of its descendants are
+/// zeros, so they are accounted (they exist in the paper's wire encoding
+/// and count toward [`BitmapSafeRegion::bitmap_size`]) but never
+/// materialized or tested. This keeps both computation and memory
+/// proportional to the alarm *boundaries* rather than their areas, which
+/// is what makes tall pyramids (h = 7) tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PyramidComputer {
+    config: PyramidConfig,
+}
+
+/// One materialized pyramid level.
+#[derive(Debug, Clone, PartialEq)]
+struct Level {
+    /// One bit per materialized cell (1 = safe).
+    bits: RankedBits,
+    /// One bit per *zero* of `bits`, in zero order: 1 when the blocked cell
+    /// splits into materialized children at the next level, 0 when it is
+    /// solid (fully inside one alarm region) or at the deepest level.
+    split: RankedBits,
+    /// Number of virtual (all-zero) bits this level contributes to the
+    /// nominal wire encoding from solid ancestors.
+    phantom_zeros: u64,
+}
+
+impl PyramidComputer {
+    /// A computer with the given pyramid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (split factors < 2, height 0).
+    pub fn new(config: PyramidConfig) -> PyramidComputer {
+        config.validate();
+        PyramidComputer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PyramidConfig {
+        self.config
+    }
+
+    /// Encodes the safe region of `cell` given the relevant alarm regions
+    /// intersecting it. Only alarm-region *interiors* block: an alarm that
+    /// merely shares an edge with a sub-cell leaves it safe.
+    pub fn compute(&self, cell: Rect, alarm_regions: &[Rect]) -> BitmapSafeRegion {
+        self.compute_with_cost(cell, alarm_regions).0
+    }
+
+    /// Like [`PyramidComputer::compute`], also reporting the number of
+    /// rectangle tests performed — the server-side cost the evaluation
+    /// charges to safe-region computation.
+    pub fn compute_with_cost(&self, cell: Rect, alarm_regions: &[Rect]) -> (BitmapSafeRegion, u64) {
+        // Obstacles clipped to the cell, interiors only.
+        let obstacles: Vec<Rect> = alarm_regions
+            .iter()
+            .filter_map(|r| r.intersection(cell))
+            .filter(|c| c.area() > 0.0)
+            .collect();
+        let mut ops = alarm_regions.len() as u64 + 1;
+
+        let root_free = !obstacles.iter().any(|o| cell.intersects_interior(o));
+        let mut levels: Vec<Level> = Vec::new();
+        if !root_free {
+            let fanout = self.config.fanout();
+            // Frontier of split (blocked, non-solid) cells with the indices
+            // of the obstacles that intersect them.
+            let all: Vec<u32> = (0..obstacles.len() as u32).collect();
+            let mut frontier: Vec<(Rect, Vec<u32>)> = vec![(cell, all)];
+            // Solid-or-phantom zero count at the previous level.
+            let mut dark_parents: u64 = 0;
+            for depth in 0..self.config.height {
+                let is_last = depth + 1 == self.config.height;
+                let mut bits = BitVec::with_capacity(frontier.len() * fanout);
+                let mut split = BitVec::new();
+                let mut next: Vec<(Rect, Vec<u32>)> = Vec::new();
+                let mut dark_here: u64 = dark_parents * fanout as u64;
+                for (parent, relevant) in &frontier {
+                    for idx in 0..fanout {
+                        let child = self.child_rect(*parent, idx);
+                        let mut blocked = false;
+                        let mut solid = false;
+                        let mut child_obs: Vec<u32> = Vec::new();
+                        for &oi in relevant {
+                            ops += 1;
+                            let o = &obstacles[oi as usize];
+                            if child.intersects_interior(o) {
+                                blocked = true;
+                                if o.contains_rect(&child) {
+                                    solid = true;
+                                    break;
+                                }
+                                child_obs.push(oi);
+                            }
+                        }
+                        bits.push(!blocked);
+                        if blocked {
+                            if solid || is_last {
+                                split.push(false);
+                                if !is_last {
+                                    dark_here += 1;
+                                }
+                            } else {
+                                split.push(true);
+                                next.push((child, child_obs));
+                            }
+                        }
+                    }
+                }
+                levels.push(Level {
+                    bits: bits.into_ranked(),
+                    split: split.into_ranked(),
+                    phantom_zeros: dark_parents * fanout as u64,
+                });
+                // Dark parents for the next level: solid zeros here plus all
+                // phantom zeros here.
+                dark_parents = dark_here;
+                frontier = next;
+            }
+        }
+        (BitmapSafeRegion { cell, config: self.config, root_free, levels }, ops)
+    }
+
+    /// Raster index (top row first) of the child of `parent` containing
+    /// `p`, clamped to the child grid.
+    fn child_index(&self, parent: Rect, p: Point) -> usize {
+        let u = self.config.split_u as usize;
+        let v = self.config.split_v as usize;
+        let w = parent.width() / u as f64;
+        let h = parent.height() / v as f64;
+        let col = (((p.x - parent.min_x()) / w) as usize).min(u - 1);
+        let row_from_bottom = (((p.y - parent.min_y()) / h) as usize).min(v - 1);
+        let row_from_top = v - 1 - row_from_bottom;
+        row_from_top * u + col
+    }
+
+    /// The rect of child `index` (raster order) of `parent`. Shared edges
+    /// between siblings are computed with identical expressions so the
+    /// children tile the parent exactly despite floating-point rounding.
+    fn child_rect(&self, parent: Rect, index: usize) -> Rect {
+        let u = self.config.split_u as usize;
+        let v = self.config.split_v as usize;
+        let w = parent.width() / u as f64;
+        let h = parent.height() / v as f64;
+        let row_from_top = index / u;
+        let col = index % u;
+        let x_edge = |c: usize| {
+            if c == u { parent.max_x() } else { parent.min_x() + c as f64 * w }
+        };
+        let y_edge = |r: usize| {
+            if r == v { parent.min_y() } else { parent.max_y() - r as f64 * h }
+        };
+        Rect::new(
+            x_edge(col),
+            y_edge(row_from_top + 1),
+            x_edge(col + 1),
+            y_edge(row_from_top),
+        )
+        .expect("child rect is valid")
+    }
+}
+
+/// A bitmap-encoded safe region (Definition 1): the wire object the server
+/// ships to the client, supporting bounded-cost containment checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitmapSafeRegion {
+    cell: Rect,
+    config: PyramidConfig,
+    /// True when the whole base cell is alarm-free (bitmap is the single
+    /// bit `1`).
+    root_free: bool,
+    levels: Vec<Level>,
+}
+
+impl BitmapSafeRegion {
+    /// The base grid cell this region refines.
+    pub fn cell(&self) -> Rect {
+        self.cell
+    }
+
+    /// The pyramid configuration used to encode the region.
+    pub fn config(&self) -> PyramidConfig {
+        self.config
+    }
+
+    /// True when the whole cell is safe (no intersecting alarms).
+    pub fn is_whole_cell_free(&self) -> bool {
+        self.root_free
+    }
+
+    /// Number of encoded pyramid levels (0 when the whole cell is free).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Nominal bit count per level of the paper's wire encoding (including
+    /// the all-zero blocks under solid cells).
+    pub fn nominal_level_bits(&self) -> Vec<u64> {
+        self.levels
+            .iter()
+            .map(|l| l.bits.len() as u64 + l.phantom_zeros)
+            .collect()
+    }
+
+    /// Nominal zero count per level (materialized and phantom).
+    pub fn nominal_level_zeros(&self) -> Vec<u64> {
+        self.levels
+            .iter()
+            .map(|l| l.bits.count_zeros() as u64 + l.phantom_zeros)
+            .collect()
+    }
+
+    /// Number of bits actually materialized in memory (the sparse
+    /// representation's footprint).
+    pub fn materialized_bits(&self) -> usize {
+        self.levels.iter().map(|l| l.bits.len()).sum()
+    }
+
+    /// Coverage η(Ψs): ratio of safe-region area to grid-cell area
+    /// (paper §4.2). Computed exactly from the bit structure.
+    pub fn coverage(&self) -> f64 {
+        if self.root_free {
+            return 1.0;
+        }
+        let fanout = self.config.fanout() as f64;
+        let mut covered = 0.0;
+        let mut level_cell_fraction = 1.0;
+        for level in &self.levels {
+            level_cell_fraction /= fanout;
+            covered += level.bits.count_ones() as f64 * level_cell_fraction;
+        }
+        covered
+    }
+
+    /// Decodes the bitmap back into the geometric safe region — the
+    /// "pyramid bitmap decoding to obtain a geometrical shape" step the
+    /// client runs once on receipt.
+    pub fn decode(&self) -> RectilinearRegion {
+        let computer = PyramidComputer::new(self.config);
+        let mut rects = Vec::new();
+        if self.root_free {
+            rects.push(self.cell);
+            return RectilinearRegion::from_rects(rects);
+        }
+        // Walk the materialized (split) tree; solid subtrees decode to
+        // nothing (they are blocked).
+        let mut frontier: Vec<Rect> = vec![self.cell];
+        for level in &self.levels {
+            let mut next = Vec::new();
+            let mut bit = 0usize;
+            for parent in &frontier {
+                for idx in 0..self.config.fanout() {
+                    let free = level.bits.get(bit).expect("level sized to frontier");
+                    let rect = computer.child_rect(*parent, idx);
+                    if free {
+                        rects.push(rect);
+                    } else {
+                        let zrank = level.bits.rank_zeros(bit);
+                        if level.split.get(zrank).expect("one split flag per zero") {
+                            next.push(rect);
+                        }
+                    }
+                    bit += 1;
+                }
+            }
+            frontier = next;
+        }
+        RectilinearRegion::from_rects(rects)
+    }
+
+    /// Total bits in the paper's wire encoding: 1 root bit plus every level
+    /// block (including all-zero blocks under solid cells) — the "bitmap
+    /// size |B|" of Proposition 3 and the payload the bandwidth model
+    /// charges.
+    pub fn bitmap_size(&self) -> usize {
+        1 + self.nominal_level_bits().iter().sum::<u64>() as usize
+    }
+
+    /// The full bitmap as a `0`/`1` string in the paper's layout (root bit,
+    /// then level blocks), e.g. `"0 000011010 111001001..."` without the
+    /// spaces. Reconstructs phantom zero blocks, so this is intended for
+    /// examples and tests on small regions.
+    pub fn to_bitstring(&self) -> String {
+        let mut s = String::with_capacity(self.bitmap_size());
+        s.push(if self.root_free { '1' } else { '0' });
+        // Parents at the current level, in nominal order: Some(materialized
+        // split marker) is implicit — we track, per nominal zero, whether it
+        // splits (materialized children) or is dark (phantom children).
+        #[derive(Clone, Copy)]
+        enum ParentKind {
+            Split,
+            Dark,
+        }
+        let fanout = self.config.fanout();
+        let mut parents = if self.root_free { vec![] } else { vec![ParentKind::Split] };
+        for level in &self.levels {
+            let mut next_parents = Vec::new();
+            let mut bit = 0usize;
+            for parent in &parents {
+                match parent {
+                    ParentKind::Split => {
+                        for _ in 0..fanout {
+                            let free = level.bits.get(bit).expect("bit in range");
+                            s.push(if free { '1' } else { '0' });
+                            if !free {
+                                let zrank = level.bits.rank_zeros(bit);
+                                let splits =
+                                    level.split.get(zrank).expect("one split flag per zero");
+                                next_parents
+                                    .push(if splits { ParentKind::Split } else { ParentKind::Dark });
+                            }
+                            bit += 1;
+                        }
+                    }
+                    ParentKind::Dark => {
+                        for _ in 0..fanout {
+                            s.push('0');
+                            next_parents.push(ParentKind::Dark);
+                        }
+                    }
+                }
+            }
+            parents = next_parents;
+        }
+        s
+    }
+
+    /// Containment check with pyramid descent: at most `height` levels are
+    /// examined (the client's "predefined worst-case number of
+    /// computations"). Returns the number of levels descended alongside the
+    /// verdict.
+    pub fn contains_with_cost(&self, p: Point) -> (bool, usize) {
+        if !self.cell.contains_point(p) {
+            return (false, 1);
+        }
+        if self.root_free {
+            return (true, 1);
+        }
+        let computer = PyramidComputer::new(self.config);
+        let fanout = self.config.fanout();
+        let mut parent = self.cell;
+        // Bit offset of the current parent's child block within its level.
+        let mut block_start = 0usize;
+        for (depth, level) in self.levels.iter().enumerate() {
+            let idx = computer.child_index(parent, p);
+            let bit = block_start + idx;
+            if level.bits.get(bit).expect("descent stays within the level") {
+                return (true, depth + 1);
+            }
+            let zrank = level.bits.rank_zeros(bit);
+            if !level.split.get(zrank).expect("one split flag per zero") {
+                // Solid blocked cell or deepest level: conservatively
+                // outside the safe region.
+                return (false, depth + 1);
+            }
+            // The child block at the next level comes after the blocks of
+            // all earlier *split* zeros.
+            let splits_before = zrank - level.split.rank_zeros(zrank);
+            block_start = splits_before * fanout;
+            parent = computer.child_rect(parent, idx);
+        }
+        (false, self.levels.len().max(1))
+    }
+}
+
+impl SafeRegion for BitmapSafeRegion {
+    fn contains(&self, p: Point) -> bool {
+        self.contains_with_cost(p).0
+    }
+
+    fn encoded_bits(&self) -> usize {
+        self.bitmap_size()
+    }
+
+    fn worst_case_check_ops(&self) -> usize {
+        // Cell bounds check (4 comparisons) plus one indexed bit probe per
+        // pyramid level.
+        4 + self.config.height as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d).unwrap()
+    }
+
+    /// The Figure 3 worked example: a cell whose 3×3 split yields the
+    /// bitmap pattern
+    /// ```text
+    /// 0 0 0
+    /// 0 1 1
+    /// 0 1 0
+    /// ```
+    /// (top row first), i.e. six blocked level-1 cells.
+    fn figure3_scenario() -> (Rect, Vec<Rect>) {
+        let cell = r(0.0, 0.0, 9.0, 9.0);
+        let alarms = vec![
+            r(0.0, 6.5, 9.0, 9.0),  // blocks the whole top row
+            r(0.5, 3.5, 1.5, 5.0),  // blocks middle-left
+            r(0.5, 1.0, 1.5, 2.0),  // blocks bottom-left
+            r(7.0, 1.0, 8.0, 2.0),  // blocks bottom-right
+        ];
+        (cell, alarms)
+    }
+
+    #[test]
+    fn whole_free_cell_is_one_bit() {
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(3));
+        let region = c.compute(r(0.0, 0.0, 9.0, 9.0), &[]);
+        assert!(region.is_whole_cell_free());
+        assert_eq!(region.bitmap_size(), 1);
+        assert_eq!(region.to_bitstring(), "1");
+        assert_eq!(region.coverage(), 1.0);
+        assert!(region.contains(Point::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn figure3b_gbsr_bitmap_matches_paper() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(1));
+        let region = c.compute(cell, &alarms);
+        // Figure 3(b): bitmap 0 000011010.
+        assert_eq!(region.to_bitstring(), "0000011010");
+        assert_eq!(region.bitmap_size(), 10);
+    }
+
+    #[test]
+    fn figure3c_9x9_gbsr_uses_82_bits() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::gbsr(9, 9));
+        let region = c.compute(cell, &alarms);
+        // "the GBSR approach requires 82 bits, 1 bit for the entire cell
+        // and 81 bits for the 9×9 grid"
+        assert_eq!(region.bitmap_size(), 82);
+    }
+
+    #[test]
+    fn figure3d_pbsr_h2_uses_64_bits() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(2));
+        let region = c.compute(cell, &alarms);
+        // "the PBSR approach requires only 64 bits, 1 bit for the entire
+        // cell, 9 bits for the cells at level 1 and 54 bits for the cells
+        // at level 2"
+        assert_eq!(region.nominal_level_bits(), vec![9, 54]);
+        assert_eq!(region.bitmap_size(), 64);
+    }
+
+    #[test]
+    fn pbsr_coverage_never_decreases_with_height() {
+        let (cell, alarms) = figure3_scenario();
+        let mut prev = 0.0;
+        for h in 1..=6 {
+            let c = PyramidComputer::new(PyramidConfig::three_by_three(h));
+            let cov = c.compute(cell, &alarms).coverage();
+            assert!(cov >= prev - 1e-12, "h={h}: coverage {cov} < {prev}");
+            assert!((0.0..=1.0).contains(&cov));
+            prev = cov;
+        }
+        // With a fine pyramid, coverage approaches the true free fraction.
+        assert!(prev > 0.5);
+    }
+
+    #[test]
+    fn containment_agrees_with_decoded_region() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(3));
+        let region = c.compute(cell, &alarms);
+        let decoded = region.decode();
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(0.1 + i as f64 * 0.22, 0.1 + j as f64 * 0.22);
+                assert_eq!(
+                    region.contains(p),
+                    decoded.contains_point(p),
+                    "disagreement at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn safe_cells_never_touch_alarm_interiors() {
+        let (cell, alarms) = figure3_scenario();
+        for h in 1..=4 {
+            let c = PyramidComputer::new(PyramidConfig::three_by_three(h));
+            let decoded = c.compute(cell, &alarms).decode();
+            for alarm in &alarms {
+                assert!(
+                    !decoded.intersects_interior(alarm),
+                    "h={h}: safe region overlaps alarm {alarm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_area_matches_coverage() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(3));
+        let region = c.compute(cell, &alarms);
+        let decoded = region.decode();
+        assert!((decoded.area() / cell.area() - region.coverage()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_cost_is_bounded_by_height() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(4));
+        let region = c.compute(cell, &alarms);
+        for i in 0..20 {
+            let p = Point::new(i as f64 * 0.45, 9.0 - i as f64 * 0.45);
+            let (_, cost) = region.contains_with_cost(p);
+            assert!(cost <= 4, "descent cost {cost} exceeds height");
+        }
+        assert!(region.worst_case_check_ops() >= 4 + 4);
+    }
+
+    #[test]
+    fn point_outside_cell_is_never_contained() {
+        let (cell, alarms) = figure3_scenario();
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(2));
+        let region = c.compute(cell, &alarms);
+        assert!(!region.contains(Point::new(-1.0, 4.0)));
+        assert!(!region.contains(Point::new(4.0, 10.0)));
+    }
+
+    #[test]
+    fn fully_blocked_cell_has_zero_coverage_and_stays_sparse() {
+        let cell = r(0.0, 0.0, 9.0, 9.0);
+        let c = PyramidComputer::new(PyramidConfig::three_by_three(5));
+        let (region, ops) = c.compute_with_cost(cell, &[r(-1.0, -1.0, 10.0, 10.0)]);
+        assert_eq!(region.coverage(), 0.0);
+        assert!(!region.contains(Point::new(4.5, 4.5)));
+        assert!(region.decode().is_empty());
+        // The nominal encoding includes every phantom level…
+        assert_eq!(region.bitmap_size(), 1 + 9 + 81 + 729 + 6561 + 59049);
+        // …but only the first level is materialized and the computation
+        // tested a handful of rectangles.
+        assert_eq!(region.materialized_bits(), 9);
+        assert!(ops < 30, "ops {ops}");
+    }
+
+    #[test]
+    fn gbsr_is_pbsr_height_one() {
+        let (cell, alarms) = figure3_scenario();
+        let a = PyramidComputer::new(PyramidConfig::three_by_three(1)).compute(cell, &alarms);
+        let b = PyramidComputer::new(PyramidConfig { split_u: 3, split_v: 3, height: 1 })
+            .compute(cell, &alarms);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nominal_bitmap_structure_matches_proposition_2() {
+        let (cell, alarms) = figure3_scenario();
+        for h in 2..=5 {
+            let region =
+                PyramidComputer::new(PyramidConfig::three_by_three(h)).compute(cell, &alarms);
+            // Each level holds 9 bits per nominal zero of the level above
+            // (the root counts as the single level-0 zero).
+            let bits = region.nominal_level_bits();
+            let zeros = region.nominal_level_zeros();
+            let mut blocked = 1u64;
+            for (level_bits, level_zeros) in bits.iter().zip(zeros.iter()) {
+                assert_eq!(*level_bits, blocked * 9);
+                blocked = *level_zeros;
+            }
+            let expected: u64 = 1 + bits.iter().sum::<u64>();
+            assert_eq!(region.bitmap_size() as u64, expected);
+        }
+    }
+
+    #[test]
+    fn bitstring_length_matches_bitmap_size() {
+        let (cell, alarms) = figure3_scenario();
+        for h in 1..=4 {
+            let region =
+                PyramidComputer::new(PyramidConfig::three_by_three(h)).compute(cell, &alarms);
+            assert_eq!(region.to_bitstring().len(), region.bitmap_size(), "h={h}");
+        }
+    }
+
+    #[test]
+    fn solid_fast_path_does_not_change_semantics() {
+        // A cell with one alarm fully covering a sub-region: the solid fast
+        // path must produce the same containment answers as brute force.
+        let cell = r(0.0, 0.0, 9.0, 9.0);
+        let alarms = vec![r(0.0, 0.0, 6.0, 6.0), r(7.0, 7.0, 8.5, 8.8)];
+        let region = PyramidComputer::new(PyramidConfig::three_by_three(3)).compute(cell, &alarms);
+        for i in 0..30 {
+            for j in 0..30 {
+                let p = Point::new(0.15 + i as f64 * 0.3, 0.15 + j as f64 * 0.3);
+                let truly_safe = !alarms.iter().any(|a| a.contains_point_strict(p));
+                if region.contains(p) {
+                    assert!(truly_safe, "unsafe point {p} reported safe");
+                }
+            }
+        }
+        // Points well inside the fully-solid quadrant are blocked.
+        assert!(!region.contains(Point::new(3.0, 3.0)));
+        // Points in the free corner are safe.
+        assert!(region.contains(Point::new(6.5, 2.0)));
+    }
+
+    #[test]
+    fn edge_touching_alarm_leaves_cell_safe() {
+        let cell = r(0.0, 0.0, 9.0, 9.0);
+        // Alarm exactly covering the left third shares an edge with the
+        // middle third: the middle column must stay safe.
+        let alarm = r(0.0, 0.0, 3.0, 9.0);
+        let region = PyramidComputer::new(PyramidConfig::three_by_three(1)).compute(cell, &[alarm]);
+        assert!(region.contains(Point::new(4.5, 4.5)));
+        assert!(!region.contains(Point::new(1.5, 4.5)));
+        assert!((region.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_pyramid_over_dense_alarms_stays_fast() {
+        // The pathological case that motivates the sparse representation:
+        // large alarms covering much of the cell at height 7.
+        let cell = r(0.0, 0.0, 1_581.0, 1_581.0);
+        let alarms: Vec<Rect> = (0..12)
+            .map(|i| {
+                let x = (i % 4) as f64 * 380.0 + 30.0;
+                let y = (i / 4) as f64 * 500.0 + 40.0;
+                r(x, y, x + 320.0, y + 300.0)
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let (region, ops) = PyramidComputer::new(PyramidConfig::three_by_three(7))
+            .compute_with_cost(cell, &alarms);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(800),
+            "h=7 computation took {elapsed:?}"
+        );
+        // Materialized bits stay boundary-proportional while the nominal
+        // encoding is orders of magnitude larger.
+        assert!(region.materialized_bits() < 2_000_000);
+        assert!(ops > 0);
+        assert!(region.coverage() > 0.2 && region.coverage() < 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "height must be at least 1")]
+    fn rejects_zero_height() {
+        PyramidComputer::new(PyramidConfig { split_u: 3, split_v: 3, height: 0 });
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced while constructing or manipulating geometric values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// A rectangle was constructed with `min > max` on some axis or with a
+    /// non-finite coordinate.
+    InvalidRect {
+        /// The offending coordinates in `(min_x, min_y, max_x, max_y)` order.
+        coords: (f64, f64, f64, f64),
+    },
+    /// A numeric parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the parameter as it appears in the constructor signature.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted domain.
+        expected: &'static str,
+    },
+    /// A point lies outside the universe managed by a [`crate::Grid`].
+    OutOfUniverse {
+        /// The offending coordinates.
+        point: (f64, f64),
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::InvalidRect { coords } => write!(
+                f,
+                "invalid rectangle: min ({}, {}) must not exceed max ({}, {}) and all coordinates must be finite",
+                coords.0, coords.1, coords.2, coords.3
+            ),
+            GeometryError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}: expected {expected}"),
+            GeometryError::OutOfUniverse { point } => {
+                write!(f, "point ({}, {}) lies outside the grid universe", point.0, point.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<GeometryError> = vec![
+            GeometryError::InvalidRect {
+                coords: (1.0, 1.0, 0.0, 0.0),
+            },
+            GeometryError::InvalidParameter {
+                name: "cell_size",
+                value: -1.0,
+                expected: "a positive finite value",
+            },
+            GeometryError::OutOfUniverse { point: (9.0, 9.0) },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! An R*-tree spatial index (Beckmann, Kriegel, Schneider, Seeger — SIGMOD
+//! 1990), the access method the paper uses to index installed spatial alarms
+//! ("position parameters are evaluated against installed spatial alarms
+//! indexed in an R*-tree", §5.1).
+//!
+//! The implementation is a faithful R*-tree rather than a plain R-tree:
+//!
+//! - **ChooseSubtree** minimizes *overlap enlargement* when descending into
+//!   the level above the leaves, and *area enlargement* elsewhere,
+//! - **Forced reinsert**: on the first overflow per level per insertion, the
+//!   30% of entries whose centers lie farthest from the node's center are
+//!   reinserted instead of splitting,
+//! - **R\*-split**: the split axis minimizes the summed margins of all
+//!   candidate distributions; the split index minimizes overlap, with area
+//!   as the tie-breaker,
+//! - **Deletion** with under-full node condensation and orphan reinsertion.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_geometry::{Point, Rect};
+//! use sa_index::RStarTree;
+//!
+//! # fn main() -> Result<(), sa_geometry::GeometryError> {
+//! let mut tree: RStarTree<u32> = RStarTree::new();
+//! tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0)?, 1);
+//! tree.insert(Rect::new(5.0, 5.0, 6.0, 6.0)?, 2);
+//!
+//! let hits = tree.search_intersecting(Rect::new(0.5, 0.5, 5.5, 5.5)?);
+//! assert_eq!(hits.len(), 2);
+//!
+//! let here = tree.search_point(Point::new(0.5, 0.5));
+//! assert_eq!(here, vec![&1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod params;
+mod tree;
+
+pub use params::RStarParams;
+pub use tree::{QueryStats, RStarTree};

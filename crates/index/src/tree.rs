@@ -1,0 +1,853 @@
+use crate::node::{rstar_split, take_reinsert_victims, ChildEntry, LeafEntry, Node, Pending};
+use crate::RStarParams;
+use sa_geometry::{Point, Rect};
+
+/// Counters describing the work performed by a single query — used by the
+/// simulation's server-load model (every index probe is an "alarm
+/// processing" operation in Figure 4(b)/6(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Number of tree nodes visited.
+    pub nodes_visited: usize,
+    /// Number of entry rectangles tested against the query.
+    pub entries_tested: usize,
+    /// Number of matching leaf entries reported.
+    pub matches: usize,
+}
+
+/// An R*-tree mapping rectangles to payloads of type `T`.
+///
+/// See the [crate docs](crate) for the algorithmic details and an example.
+#[derive(Debug)]
+pub struct RStarTree<T> {
+    root: Node<T>,
+    /// Level of the root (leaves are level 0), i.e. tree height − 1.
+    root_level: usize,
+    size: usize,
+    params: RStarParams,
+}
+
+impl<T> Default for RStarTree<T> {
+    fn default() -> RStarTree<T> {
+        RStarTree::new()
+    }
+}
+
+impl<T> RStarTree<T> {
+    /// An empty tree with default parameters (fan-out 32, 40% min fill,
+    /// 30% forced reinsert).
+    pub fn new() -> RStarTree<T> {
+        RStarTree::with_params(RStarParams::default())
+    }
+
+    /// An empty tree with explicit structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are inconsistent (see [`RStarParams`]).
+    pub fn with_params(params: RStarParams) -> RStarTree<T> {
+        params.validate();
+        RStarTree {
+            root: Node::new_leaf(),
+            root_level: 0,
+            size: 0,
+            params,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the tree stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Tree height in levels (a single leaf root has height 1).
+    pub fn height(&self) -> usize {
+        self.root_level + 1
+    }
+
+    /// The structural parameters of this tree.
+    pub fn params(&self) -> &RStarParams {
+        &self.params
+    }
+
+    /// The bounding rectangle of all entries, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        self.root.mbr()
+    }
+
+    /// Inserts `item` with bounding rectangle `rect`.
+    pub fn insert(&mut self, rect: Rect, item: T) {
+        self.size += 1;
+        self.insert_pendings(vec![Pending::Leaf(LeafEntry { rect, item })]);
+    }
+
+    /// Removes one entry whose rectangle equals `rect` and whose item
+    /// satisfies `pred`, returning the item. Under-full nodes are condensed
+    /// and their surviving entries reinserted, per the classic deletion
+    /// algorithm.
+    pub fn remove<F: Fn(&T) -> bool>(&mut self, rect: Rect, pred: F) -> Option<T> {
+        let mut orphans: Vec<Pending<T>> = Vec::new();
+        let removed = remove_rec(
+            &mut self.root,
+            self.root_level,
+            rect,
+            &pred,
+            &mut orphans,
+            &self.params,
+        );
+        if removed.is_none() {
+            debug_assert!(orphans.is_empty());
+            return None;
+        }
+        self.size -= 1;
+        if !orphans.is_empty() {
+            self.insert_pendings(orphans);
+        }
+        // Shrink the root while it is an internal node with a single child.
+        loop {
+            let replace = match &mut self.root {
+                Node::Internal(es) if es.len() == 1 => Some(*es.pop().expect("len checked").child),
+                Node::Internal(es) if es.is_empty() => Some(Node::new_leaf()),
+                _ => None,
+            };
+            match replace {
+                Some(child) => {
+                    self.root = child;
+                    self.root_level = self.root_level.saturating_sub(1);
+                    if matches!(self.root, Node::Leaf(_)) {
+                        self.root_level = 0;
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        removed
+    }
+
+    /// All items whose rectangles intersect `query` (closed-boundary
+    /// semantics).
+    pub fn search_intersecting(&self, query: Rect) -> Vec<&T> {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        search_rec(&self.root, query, &mut |_, item| out.push(item), &mut stats);
+        out
+    }
+
+    /// Like [`RStarTree::search_intersecting`] but also reports the
+    /// rectangles and the traversal statistics.
+    pub fn search_intersecting_with_stats(&self, query: Rect) -> (Vec<(Rect, &T)>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        search_rec(&self.root, query, &mut |r, item| out.push((r, item)), &mut stats);
+        (out, stats)
+    }
+
+    /// All items whose rectangles contain `p`.
+    pub fn search_point(&self, p: Point) -> Vec<&T> {
+        self.search_intersecting(Rect::point(p))
+    }
+
+    /// Like [`RStarTree::search_point`] but also reports traversal
+    /// statistics.
+    pub fn search_point_with_stats(&self, p: Point) -> (Vec<&T>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        search_rec(&self.root, Rect::point(p), &mut |_, item| out.push(item), &mut stats);
+        (out, stats)
+    }
+
+    /// The stored entry nearest to `p` (by rectangle distance, 0 when `p`
+    /// is inside a rectangle), or `None` on an empty tree.
+    pub fn nearest(&self, p: Point) -> Option<(Rect, &T, f64)> {
+        self.nearest_matching(p, |_| true).map(|(r, t, d, _)| (r, t, d))
+    }
+
+    /// Best-first nearest-neighbor search restricted to items satisfying
+    /// `pred` — e.g. "relevant to this subscriber and not yet fired", the
+    /// safe-period baseline's distance query. Returns the entry, its
+    /// distance, and the traversal statistics.
+    ///
+    /// Entries failing `pred` are skipped but still counted in
+    /// [`QueryStats::entries_tested`]; when the predicate is sparse the
+    /// search degrades gracefully toward a distance-ordered scan.
+    pub fn nearest_matching<F: Fn(&T) -> bool>(
+        &self,
+        p: Point,
+        pred: F,
+    ) -> Option<(Rect, &T, f64, QueryStats)> {
+        use std::collections::BinaryHeap;
+
+        enum Item<'a, T> {
+            Node(&'a Node<T>),
+            Entry(Rect, &'a T),
+        }
+
+        // Min-heap keyed by distance; ties broken by insertion order so
+        // the payload never participates in the ordering.
+        struct HeapEntry<'a, T> {
+            dist: f64,
+            seq: u64,
+            item: Item<'a, T>,
+        }
+        impl<T> PartialEq for HeapEntry<'_, T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist && self.seq == other.seq
+            }
+        }
+        impl<T> Eq for HeapEntry<'_, T> {}
+        impl<T> PartialOrd for HeapEntry<'_, T> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for HeapEntry<'_, T> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reversed: smallest distance pops first.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .expect("distances are finite")
+                    .then(other.seq.cmp(&self.seq))
+            }
+        }
+
+        let mut stats = QueryStats::default();
+        if self.is_empty() {
+            return None;
+        }
+        let mut counter = 0u64;
+        let mut heap: BinaryHeap<HeapEntry<'_, T>> = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, seq: counter, item: Item::Node(&self.root) });
+        while let Some(HeapEntry { dist, item, .. }) = heap.pop() {
+            match item {
+                Item::Entry(rect, value) => {
+                    stats.matches += 1;
+                    return Some((rect, value, dist, stats));
+                }
+                Item::Node(node) => {
+                    stats.nodes_visited += 1;
+                    match node {
+                        Node::Leaf(es) => {
+                            for e in es {
+                                stats.entries_tested += 1;
+                                if pred(&e.item) {
+                                    counter += 1;
+                                    heap.push(HeapEntry {
+                                        dist: e.rect.distance_to_point(p),
+                                        seq: counter,
+                                        item: Item::Entry(e.rect, &e.item),
+                                    });
+                                }
+                            }
+                        }
+                        Node::Internal(es) => {
+                            for e in es {
+                                stats.entries_tested += 1;
+                                counter += 1;
+                                heap.push(HeapEntry {
+                                    dist: e.rect.distance_to_point(p),
+                                    seq: counter,
+                                    item: Item::Node(&e.child),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Visits every stored `(rect, item)` pair in unspecified order.
+    pub fn for_each(&self, mut f: impl FnMut(Rect, &T)) {
+        fn walk<T>(node: &Node<T>, f: &mut impl FnMut(Rect, &T)) {
+            match node {
+                Node::Leaf(es) => {
+                    for e in es {
+                        f(e.rect, &e.item);
+                    }
+                }
+                Node::Internal(es) => {
+                    for e in es {
+                        walk(&e.child, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut f);
+    }
+
+    /// Verifies the structural invariants of the tree (used by tests):
+    /// every internal entry's rectangle equals its child's MBR, fill factors
+    /// are respected below the root, and all leaves sit at level 0.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn check<T>(
+            node: &Node<T>,
+            level: usize,
+            is_root: bool,
+            params: &RStarParams,
+        ) -> Result<usize, String> {
+            let len = node.len();
+            if len > params.max_entries {
+                return Err(format!("node at level {level} overflows: {len}"));
+            }
+            if !is_root && len < params.min_entries {
+                return Err(format!("node at level {level} underflows: {len}"));
+            }
+            match node {
+                Node::Leaf(_) => {
+                    if level != 0 {
+                        return Err(format!("leaf found at level {level}"));
+                    }
+                    Ok(len)
+                }
+                Node::Internal(es) => {
+                    if level == 0 {
+                        return Err("internal node at leaf level".into());
+                    }
+                    let mut total = 0;
+                    for e in es {
+                        let child_mbr = e.child.mbr().ok_or("empty child node")?;
+                        if child_mbr != e.rect {
+                            return Err(format!(
+                                "stale MBR at level {level}: stored {} vs actual {}",
+                                e.rect, child_mbr
+                            ));
+                        }
+                        total += check(&e.child, level - 1, false, params)?;
+                    }
+                    Ok(total)
+                }
+            }
+        }
+        let total = check(&self.root, self.root_level, true, &self.params)?;
+        if total != self.size {
+            return Err(format!("size mismatch: counted {total}, recorded {}", self.size));
+        }
+        Ok(())
+    }
+
+    /// Inserts a batch of pending entries, processing any forced-reinsert
+    /// fallout until the queue drains.
+    fn insert_pendings(&mut self, pendings: Vec<Pending<T>>) {
+        let mut queue = pendings;
+        // Forced reinsert is allowed once per level per (original) insertion.
+        let mut reinserted = vec![false; self.root_level + 1];
+        while let Some(p) = queue.pop() {
+            debug_assert!(p.container_level() <= self.root_level);
+            let outcome = insert_rec(
+                &mut self.root,
+                self.root_level,
+                self.root_level,
+                p,
+                &mut reinserted,
+                &self.params,
+            );
+            match outcome {
+                InsertOutcome::Done => {}
+                InsertOutcome::Reinsert(mut extra) => queue.append(&mut extra),
+                InsertOutcome::Split(new_entry) => {
+                    // Grow a new root above the old one.
+                    let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+                    let old_rect = old_root.mbr().expect("split root is non-empty");
+                    self.root = Node::Internal(vec![
+                        ChildEntry { rect: old_rect, child: Box::new(old_root) },
+                        new_entry,
+                    ]);
+                    self.root_level += 1;
+                    reinserted.push(false);
+                }
+            }
+        }
+    }
+}
+
+enum InsertOutcome<T> {
+    Done,
+    /// The node split; the caller must attach this new sibling.
+    Split(ChildEntry<T>),
+    /// Forced reinsert pulled these entries out of the tree.
+    Reinsert(Vec<Pending<T>>),
+}
+
+fn insert_rec<T>(
+    node: &mut Node<T>,
+    node_level: usize,
+    root_level: usize,
+    pending: Pending<T>,
+    reinserted: &mut [bool],
+    params: &RStarParams,
+) -> InsertOutcome<T> {
+    if node_level == pending.container_level() {
+        match (node, pending) {
+            (Node::Leaf(es), Pending::Leaf(e)) => {
+                es.push(e);
+                if es.len() > params.max_entries {
+                    overflow_leaf(es, node_level, root_level, reinserted, params)
+                } else {
+                    InsertOutcome::Done
+                }
+            }
+            (Node::Internal(es), Pending::Subtree { entry, .. }) => {
+                es.push(entry);
+                if es.len() > params.max_entries {
+                    overflow_internal(es, node_level, root_level, reinserted, params)
+                } else {
+                    InsertOutcome::Done
+                }
+            }
+            _ => unreachable!("node kind always matches the pending container level"),
+        }
+    } else {
+        let Node::Internal(es) = node else {
+            unreachable!("descent only passes through internal nodes")
+        };
+        let target_rect = pending.rect();
+        // ChooseSubtree: overlap-enlargement criterion when the children are
+        // the pending entry's future container siblings' parents at level 1;
+        // classic rule: overlap criterion when children are leaves.
+        let idx = if node_level == 1 {
+            choose_subtree_min_overlap(es, target_rect)
+        } else {
+            choose_subtree_min_area(es, target_rect)
+        };
+        let outcome = insert_rec(
+            &mut es[idx].child,
+            node_level - 1,
+            root_level,
+            pending,
+            reinserted,
+            params,
+        );
+        // The child may have grown or shrunk (reinsert); refresh its MBR.
+        es[idx].rect = es[idx].child.mbr().expect("child node is non-empty");
+        match outcome {
+            InsertOutcome::Done => InsertOutcome::Done,
+            InsertOutcome::Reinsert(p) => InsertOutcome::Reinsert(p),
+            InsertOutcome::Split(new_entry) => {
+                es.push(new_entry);
+                if es.len() > params.max_entries {
+                    overflow_internal(es, node_level, root_level, reinserted, params)
+                } else {
+                    InsertOutcome::Done
+                }
+            }
+        }
+    }
+}
+
+fn overflow_leaf<T>(
+    es: &mut Vec<LeafEntry<T>>,
+    node_level: usize,
+    root_level: usize,
+    reinserted: &mut [bool],
+    params: &RStarParams,
+) -> InsertOutcome<T> {
+    if node_level < root_level && !reinserted[node_level] {
+        reinserted[node_level] = true;
+        let victims = take_reinsert_victims(es, |e| e.rect, params.reinsert_count);
+        InsertOutcome::Reinsert(victims.into_iter().map(Pending::Leaf).collect())
+    } else {
+        let entries = std::mem::take(es);
+        let (keep, moved) = rstar_split(entries, |e| e.rect, params);
+        *es = keep;
+        let sibling = Node::Leaf(moved);
+        let rect = sibling.mbr().expect("split group is non-empty");
+        InsertOutcome::Split(ChildEntry { rect, child: Box::new(sibling) })
+    }
+}
+
+fn overflow_internal<T>(
+    es: &mut Vec<ChildEntry<T>>,
+    node_level: usize,
+    root_level: usize,
+    reinserted: &mut [bool],
+    params: &RStarParams,
+) -> InsertOutcome<T> {
+    if node_level < root_level && !reinserted[node_level] {
+        reinserted[node_level] = true;
+        let victims = take_reinsert_victims(es, |e| e.rect, params.reinsert_count);
+        InsertOutcome::Reinsert(
+            victims
+                .into_iter()
+                .map(|entry| Pending::Subtree { entry, child_level: node_level - 1 })
+                .collect(),
+        )
+    } else {
+        let entries = std::mem::take(es);
+        let (keep, moved) = rstar_split(entries, |e| e.rect, params);
+        *es = keep;
+        let sibling = Node::Internal(moved);
+        let rect = sibling.mbr().expect("split group is non-empty");
+        InsertOutcome::Split(ChildEntry { rect, child: Box::new(sibling) })
+    }
+}
+
+/// ChooseSubtree at the level just above the leaves: minimum overlap
+/// enlargement, ties broken by area enlargement then area.
+fn choose_subtree_min_overlap<T>(es: &[ChildEntry<T>], rect: Rect) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for (i, e) in es.iter().enumerate() {
+        let enlarged = e.rect.union(rect);
+        let mut overlap_before = 0.0;
+        let mut overlap_after = 0.0;
+        for (j, other) in es.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            overlap_before += e.rect.overlap_area(other.rect);
+            overlap_after += enlarged.overlap_area(other.rect);
+        }
+        let key = (
+            overlap_after - overlap_before,
+            e.rect.enlargement(rect),
+            e.rect.area(),
+        );
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// ChooseSubtree at higher levels: minimum area enlargement, ties broken by
+/// area.
+fn choose_subtree_min_area<T>(es: &[ChildEntry<T>], rect: Rect) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for (i, e) in es.iter().enumerate() {
+        let key = (e.rect.enlargement(rect), e.rect.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+fn search_rec<'a, T>(
+    node: &'a Node<T>,
+    query: Rect,
+    emit: &mut impl FnMut(Rect, &'a T),
+    stats: &mut QueryStats,
+) {
+    stats.nodes_visited += 1;
+    match node {
+        Node::Leaf(es) => {
+            for e in es {
+                stats.entries_tested += 1;
+                if e.rect.intersects(&query) {
+                    stats.matches += 1;
+                    emit(e.rect, &e.item);
+                }
+            }
+        }
+        Node::Internal(es) => {
+            for e in es {
+                stats.entries_tested += 1;
+                if e.rect.intersects(&query) {
+                    search_rec(&e.child, query, emit, stats);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive delete: removes a matching entry and condenses under-full
+/// nodes, pushing displaced entries into `orphans`.
+fn remove_rec<T, F: Fn(&T) -> bool>(
+    node: &mut Node<T>,
+    node_level: usize,
+    rect: Rect,
+    pred: &F,
+    orphans: &mut Vec<Pending<T>>,
+    params: &RStarParams,
+) -> Option<T> {
+    match node {
+        Node::Leaf(es) => {
+            let pos = es.iter().position(|e| e.rect == rect && pred(&e.item))?;
+            Some(es.remove(pos).item)
+        }
+        Node::Internal(es) => {
+            let mut removed = None;
+            let mut removed_child: Option<usize> = None;
+            for (i, e) in es.iter_mut().enumerate() {
+                if !e.rect.intersects(&rect) {
+                    continue;
+                }
+                if let Some(item) =
+                    remove_rec(&mut e.child, node_level - 1, rect, pred, orphans, params)
+                {
+                    removed = Some(item);
+                    if e.child.len() < params.min_entries {
+                        removed_child = Some(i);
+                    } else {
+                        e.rect = e.child.mbr().expect("child still has entries");
+                    }
+                    break;
+                }
+            }
+            if let Some(i) = removed_child {
+                let entry = es.remove(i);
+                match *entry.child {
+                    Node::Leaf(leaf_entries) => {
+                        orphans.extend(leaf_entries.into_iter().map(Pending::Leaf));
+                    }
+                    Node::Internal(child_entries) => {
+                        orphans.extend(child_entries.into_iter().map(|entry| Pending::Subtree {
+                            entry,
+                            child_level: node_level - 2,
+                        }));
+                    }
+                }
+            }
+            removed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d).unwrap()
+    }
+
+    fn grid_tree(n: usize) -> RStarTree<usize> {
+        let mut tree = RStarTree::with_params(RStarParams::with_max_entries(8));
+        let cols = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            let x = (i % cols) as f64 * 10.0;
+            let y = (i / cols) as f64 * 10.0;
+            tree.insert(r(x, y, x + 5.0, y + 5.0), i);
+        }
+        tree
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let tree: RStarTree<u8> = RStarTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.height(), 1);
+        assert!(tree.bounding_box().is_none());
+        assert!(tree.search_intersecting(r(0.0, 0.0, 1.0, 1.0)).is_empty());
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_point_query() {
+        let tree = grid_tree(100);
+        assert_eq!(tree.len(), 100);
+        tree.check_invariants().unwrap();
+        // Point inside entry 0's rect.
+        let hits = tree.search_point(Point::new(2.0, 2.0));
+        assert_eq!(hits, vec![&0]);
+        // Point in a gap between rects.
+        let miss = tree.search_point(Point::new(7.0, 7.0));
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let tree = grid_tree(200);
+        let query = r(12.0, 12.0, 47.0, 33.0);
+        let mut expected = Vec::new();
+        tree.for_each(|rect, item| {
+            if rect.intersects(&query) {
+                expected.push(*item);
+            }
+        });
+        expected.sort_unstable();
+        let mut got: Vec<usize> = tree.search_intersecting(query).into_iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let tree = grid_tree(500);
+        assert!(tree.height() >= 3, "500 entries at fan-out 8 must stack levels");
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn query_stats_reflect_pruning() {
+        let tree = grid_tree(400);
+        let (_, broad) = tree.search_intersecting_with_stats(tree.bounding_box().unwrap());
+        let (_, narrow) = tree.search_intersecting_with_stats(r(0.0, 0.0, 4.0, 4.0));
+        assert!(narrow.nodes_visited < broad.nodes_visited);
+        assert_eq!(broad.matches, 400);
+        assert_eq!(narrow.matches, 1);
+    }
+
+    #[test]
+    fn remove_then_queries_forget_entry() {
+        let mut tree = grid_tree(64);
+        let rect = r(0.0, 0.0, 5.0, 5.0);
+        let removed = tree.remove(rect, |&i| i == 0);
+        assert_eq!(removed, Some(0));
+        assert_eq!(tree.len(), 63);
+        assert!(tree.search_point(Point::new(2.0, 2.0)).is_empty());
+        tree.check_invariants().unwrap();
+        // Removing again fails.
+        assert_eq!(tree.remove(rect, |&i| i == 0), None);
+        assert_eq!(tree.len(), 63);
+    }
+
+    #[test]
+    fn remove_all_entries_empties_tree() {
+        let mut tree = grid_tree(150);
+        let mut entries: Vec<(Rect, usize)> = Vec::new();
+        tree.for_each(|rect, item| entries.push((rect, *item)));
+        for (rect, item) in entries {
+            assert_eq!(tree.remove(rect, |&i| i == item), Some(item));
+            tree.check_invariants().unwrap();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn duplicate_rects_are_disambiguated_by_predicate() {
+        let mut tree: RStarTree<u32> = RStarTree::new();
+        let rect = r(1.0, 1.0, 2.0, 2.0);
+        tree.insert(rect, 7);
+        tree.insert(rect, 8);
+        assert_eq!(tree.remove(rect, |&i| i == 8), Some(8));
+        assert_eq!(tree.search_point(Point::new(1.5, 1.5)), vec![&7]);
+    }
+
+    #[test]
+    fn for_each_visits_every_entry_once() {
+        let tree = grid_tree(300);
+        let mut seen = std::collections::HashSet::new();
+        tree.for_each(|_, item| {
+            assert!(seen.insert(*item));
+        });
+        assert_eq!(seen.len(), 300);
+    }
+
+    #[test]
+    fn boundary_touching_query_hits() {
+        let mut tree: RStarTree<u32> = RStarTree::new();
+        tree.insert(r(0.0, 0.0, 1.0, 1.0), 1);
+        // Query sharing only the corner point (1,1).
+        let hits = tree.search_intersecting(r(1.0, 1.0, 2.0, 2.0));
+        assert_eq!(hits, vec![&1]);
+    }
+}
+
+#[cfg(test)]
+mod nearest_tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d).unwrap()
+    }
+
+    fn scattered(n: usize) -> RStarTree<usize> {
+        let mut tree = RStarTree::with_params(RStarParams::with_max_entries(8));
+        for i in 0..n {
+            // Deterministic pseudo-random spread.
+            let x = ((i * 7919) % 1000) as f64;
+            let y = ((i * 104729) % 1000) as f64;
+            tree.insert(r(x, y, x + 10.0, y + 10.0), i);
+        }
+        tree
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let tree = scattered(300);
+        for k in 0..25 {
+            let p = Point::new((k * 41 % 1000) as f64, (k * 83 % 1000) as f64);
+            let (_, &got, got_d) = tree.nearest(p).unwrap();
+            let mut best = (usize::MAX, f64::INFINITY);
+            tree.for_each(|rect, &i| {
+                let d = rect.distance_to_point(p);
+                if d < best.1 {
+                    best = (i, d);
+                }
+            });
+            assert!((got_d - best.1).abs() < 1e-9, "distance mismatch at probe {k}");
+            // Multiple entries can tie; verify the returned distance only.
+            let _ = got;
+        }
+    }
+
+    #[test]
+    fn nearest_inside_a_rect_has_distance_zero() {
+        let tree = scattered(100);
+        // Probe the center of entry 0's rectangle.
+        let mut target = None;
+        tree.for_each(|rect, &i| {
+            if i == 0 {
+                target = Some(rect.center());
+            }
+        });
+        let (_, _, d) = tree.nearest(target.unwrap()).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn nearest_on_empty_tree_is_none() {
+        let tree: RStarTree<u8> = RStarTree::new();
+        assert!(tree.nearest(Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn filtered_nearest_skips_non_matching() {
+        let tree = scattered(300);
+        let p = Point::new(500.0, 500.0);
+        let (_, &item, d, stats) = tree.nearest_matching(p, |&i| i % 7 == 3).unwrap();
+        assert_eq!(item % 7, 3);
+        // Verify against brute force over the filtered subset.
+        let mut best = f64::INFINITY;
+        tree.for_each(|rect, &i| {
+            if i % 7 == 3 {
+                best = best.min(rect.distance_to_point(p));
+            }
+        });
+        assert!((d - best).abs() < 1e-9);
+        assert!(stats.nodes_visited >= 1);
+    }
+
+    #[test]
+    fn filtered_nearest_with_impossible_predicate_is_none() {
+        let tree = scattered(64);
+        assert!(tree.nearest_matching(Point::new(1.0, 1.0), |_| false).is_none());
+    }
+
+    #[test]
+    fn nearest_visits_fewer_nodes_than_full_scan() {
+        let tree = scattered(1000);
+        let (_, _, _, stats) = tree
+            .nearest_matching(Point::new(250.0, 250.0), |_| true)
+            .unwrap();
+        // Best-first search should prune most of the tree.
+        let mut total_nodes = 0usize;
+        fn count<T>(node: &crate::node::Node<T>, acc: &mut usize) {
+            *acc += 1;
+            if let crate::node::Node::Internal(es) = node {
+                for e in es {
+                    count(&e.child, acc);
+                }
+            }
+        }
+        let _ = &mut total_nodes;
+        // No public node access; approximate: a 1000-entry tree at fanout 8
+        // has > 125 nodes, the search should touch far fewer.
+        assert!(stats.nodes_visited < 60, "visited {}", stats.nodes_visited);
+    }
+}

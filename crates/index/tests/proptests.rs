@@ -1,0 +1,130 @@
+//! Property-based tests: the R*-tree must agree with a brute-force index
+//! under arbitrary interleavings of inserts, removes and queries, and its
+//! structural invariants must hold throughout.
+
+use proptest::prelude::*;
+use sa_geometry::{Point, Rect};
+use sa_index::{RStarParams, RStarTree};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect),
+    Remove(usize),
+    Query(Rect),
+    PointQuery(Point),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..1_000.0f64, 0.0..1_000.0f64, 0.0..120.0f64, 0.0..120.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h).unwrap())
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_rect().prop_map(Op::Insert),
+        1 => (0usize..64).prop_map(Op::Remove),
+        2 => arb_rect().prop_map(Op::Query),
+        1 => (0.0..1_000.0f64, 0.0..1_000.0f64).prop_map(|(x, y)| Op::PointQuery(Point::new(x, y))),
+    ]
+}
+
+fn run_scenario(ops: Vec<Op>, params: RStarParams) {
+    let mut tree: RStarTree<u64> = RStarTree::with_params(params);
+    let mut oracle: Vec<(Rect, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Insert(rect) => {
+                tree.insert(rect, next_id);
+                oracle.push((rect, next_id));
+                next_id += 1;
+            }
+            Op::Remove(k) => {
+                if oracle.is_empty() {
+                    continue;
+                }
+                let (rect, id) = oracle[k % oracle.len()];
+                let removed = tree.remove(rect, |&i| i == id);
+                assert_eq!(removed, Some(id), "remove of live entry must succeed");
+                oracle.retain(|&(_, i)| i != id);
+            }
+            Op::Query(rect) => {
+                let mut got: Vec<u64> = tree.search_intersecting(rect).into_iter().copied().collect();
+                got.sort_unstable();
+                let mut expected: Vec<u64> = oracle
+                    .iter()
+                    .filter(|(r, _)| r.intersects(&rect))
+                    .map(|&(_, i)| i)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(got, expected, "range query diverged from oracle");
+            }
+            Op::PointQuery(p) => {
+                let mut got: Vec<u64> = tree.search_point(p).into_iter().copied().collect();
+                got.sort_unstable();
+                let mut expected: Vec<u64> = oracle
+                    .iter()
+                    .filter(|(r, _)| r.contains_point(p))
+                    .map(|&(_, i)| i)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(got, expected, "point query diverged from oracle");
+            }
+        }
+        assert_eq!(tree.len(), oracle.len());
+        tree.check_invariants().expect("structural invariants");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn agrees_with_oracle_default_params(ops in prop::collection::vec(arb_op(), 1..150)) {
+        run_scenario(ops, RStarParams::default());
+    }
+
+    #[test]
+    fn agrees_with_oracle_tiny_fanout(ops in prop::collection::vec(arb_op(), 1..150)) {
+        // Small fan-out stresses splits, reinserts and root growth.
+        run_scenario(ops, RStarParams::with_max_entries(4));
+    }
+
+    #[test]
+    fn agrees_with_oracle_medium_fanout(ops in prop::collection::vec(arb_op(), 1..200)) {
+        run_scenario(ops, RStarParams::with_max_entries(10));
+    }
+
+    #[test]
+    fn bulk_insert_then_drain(rects in prop::collection::vec(arb_rect(), 1..300)) {
+        let mut tree: RStarTree<usize> = RStarTree::with_params(RStarParams::with_max_entries(6));
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        tree.check_invariants().expect("after bulk insert");
+        prop_assert_eq!(tree.len(), rects.len());
+        // The bounding box covers every inserted rectangle.
+        let bb = tree.bounding_box().unwrap();
+        for r in &rects {
+            prop_assert!(bb.contains_rect(r));
+        }
+        // Drain in insertion order.
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert_eq!(tree.remove(*r, |&x| x == i), Some(i));
+        }
+        prop_assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn query_stats_are_consistent(rects in prop::collection::vec(arb_rect(), 1..200), q in arb_rect()) {
+        let mut tree: RStarTree<usize> = RStarTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        let (hits, stats) = tree.search_intersecting_with_stats(q);
+        prop_assert_eq!(hits.len(), stats.matches);
+        prop_assert!(stats.nodes_visited >= 1);
+        prop_assert!(stats.entries_tested >= stats.matches);
+    }
+}

@@ -1,0 +1,230 @@
+use crate::{EdgeId, NodeId, RoadNetwork};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Dijkstra shortest-travel-time router with reusable internal buffers.
+///
+/// Routing cost is edge travel time at design speed, so trips prefer
+/// highways over shorter local-road paths when the detour pays off —
+/// the behaviour that gives vehicle traces their characteristic
+/// highway-heavy structure.
+///
+/// ```
+/// use sa_roadnet::{generate_network, NetworkConfig, NodeId, Router};
+///
+/// let net = generate_network(&NetworkConfig::small_test());
+/// let mut router = Router::new(&net);
+/// let path = router.route(NodeId(0), NodeId((net.node_count() - 1) as u32)).unwrap();
+/// assert!(path.len() >= 2);
+/// ```
+#[derive(Debug)]
+pub struct Router<'a> {
+    network: &'a RoadNetwork,
+    dist: Vec<f64>,
+    prev_edge: Vec<Option<EdgeId>>,
+    visited_epoch: Vec<u64>,
+    epoch: u64,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &HeapItem) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &HeapItem) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> Router<'a> {
+    /// Creates a router bound to `network`.
+    pub fn new(network: &'a RoadNetwork) -> Router<'a> {
+        let n = network.node_count();
+        Router {
+            network,
+            dist: vec![f64::INFINITY; n],
+            prev_edge: vec![None; n],
+            visited_epoch: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Shortest-travel-time path from `from` to `to` as the sequence of
+    /// edges to traverse. Returns `None` when `to` is unreachable, and an
+    /// empty path when `from == to`.
+    pub fn route(&mut self, from: NodeId, to: NodeId) -> Option<Vec<EdgeId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mark = |slot: &mut u64| *slot = epoch;
+
+        let mut heap = BinaryHeap::new();
+        self.dist[from.0 as usize] = 0.0;
+        self.prev_edge[from.0 as usize] = None;
+        mark(&mut self.visited_epoch[from.0 as usize]);
+        heap.push(HeapItem { cost: 0.0, node: from });
+
+        let mut settled = vec![false; self.network.node_count()];
+        while let Some(HeapItem { cost, node }) = heap.pop() {
+            if settled[node.0 as usize] {
+                continue;
+            }
+            settled[node.0 as usize] = true;
+            if node == to {
+                break;
+            }
+            for &eid in self.network.incident_edges(node) {
+                let edge = self.network.edge(eid);
+                let next = edge.other(node);
+                let ni = next.0 as usize;
+                let next_cost = cost + edge.travel_time();
+                let fresh = self.visited_epoch[ni] != epoch;
+                if fresh || next_cost < self.dist[ni] {
+                    self.visited_epoch[ni] = epoch;
+                    self.dist[ni] = next_cost;
+                    self.prev_edge[ni] = Some(eid);
+                    heap.push(HeapItem { cost: next_cost, node: next });
+                }
+            }
+        }
+
+        if self.visited_epoch[to.0 as usize] != self.epoch || !settled[to.0 as usize] {
+            return None;
+        }
+        // Walk predecessors back to the origin.
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let eid = self.prev_edge[cur.0 as usize].expect("reached node has a predecessor");
+            path.push(eid);
+            cur = self.network.edge(eid).other(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Travel time (seconds) of the last route to `to` computed by
+    /// [`Router::route`]. Only meaningful directly after a successful call.
+    pub fn last_cost(&self, to: NodeId) -> Option<f64> {
+        if self.visited_epoch[to.0 as usize] == self.epoch {
+            Some(self.dist[to.0 as usize])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_network, NetworkConfig, RoadClass, RoadNetwork};
+    use sa_geometry::Point;
+
+    fn line(n: u32) -> RoadNetwork {
+        RoadNetwork::new(
+            (0..n).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect(),
+            (0..n - 1).map(|i| (i, i + 1, RoadClass::Local)).collect(),
+        )
+    }
+
+    #[test]
+    fn routes_along_a_line() {
+        let net = line(5);
+        let mut router = Router::new(&net);
+        let path = router.route(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path, vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let expected = 400.0 / RoadClass::Local.speed_mps();
+        assert!((router.last_cost(NodeId(4)).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_route_to_self() {
+        let net = line(3);
+        let mut router = Router::new(&net);
+        assert_eq!(router.route(NodeId(1), NodeId(1)).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let net = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(500.0, 500.0),
+                Point::new(600.0, 500.0),
+            ],
+            vec![(0, 1, RoadClass::Local), (2, 3, RoadClass::Local)],
+        );
+        let mut router = Router::new(&net);
+        assert!(router.route(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn prefers_fast_roads_over_short_ones() {
+        // Two routes from 0 to 3: direct local chain (0-1-3, 200 m at 11 m/s
+        // ≈ 18.2 s) vs a longer highway detour (0-2-3, 300 m at 29 m/s
+        // ≈ 10.3 s). Router must take the highway.
+        let net = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(0.0, 150.0),
+                Point::new(200.0, 0.0),
+            ],
+            vec![
+                (0, 1, RoadClass::Local),
+                (1, 3, RoadClass::Local),
+                (0, 2, RoadClass::Highway),
+                (2, 3, RoadClass::Highway),
+            ],
+        );
+        let mut router = Router::new(&net);
+        let path = router.route(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(path, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn path_edges_are_contiguous() {
+        let net = generate_network(&NetworkConfig::small_test());
+        let mut router = Router::new(&net);
+        let from = NodeId(0);
+        let to = NodeId((net.node_count() - 1) as u32);
+        let path = router.route(from, to).unwrap();
+        let mut cur = from;
+        for eid in path {
+            let e = net.edge(eid);
+            assert!(e.a == cur || e.b == cur, "edge not incident to current node");
+            cur = e.other(cur);
+        }
+        assert_eq!(cur, to);
+    }
+
+    #[test]
+    fn router_is_reusable_across_queries() {
+        let net = generate_network(&NetworkConfig::small_test());
+        let mut router = Router::new(&net);
+        let a = router.route(NodeId(0), NodeId(10)).unwrap();
+        let b = router.route(NodeId(0), NodeId(10)).unwrap();
+        assert_eq!(a, b);
+        // A different query afterwards still works.
+        assert!(router.route(NodeId(5), NodeId(20)).is_some());
+    }
+}

@@ -1,0 +1,341 @@
+//! Trace recording and replay: materialize a fleet's samples into a
+//! [`TraceLog`] that can be saved to / loaded from a simple CSV format,
+//! summarized, and replayed step by step — useful for debugging a specific
+//! run, sharing a workload, or feeding external tools.
+
+use crate::{Fleet, FleetConfig, RoadNetwork, TraceSample, VehicleId};
+use sa_geometry::{Point, Rect};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A materialized mobility trace: samples in step-major order (all vehicles
+/// of step 0, then step 1, …).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceLog {
+    samples: Vec<TraceSample>,
+    vehicles: u32,
+    steps: u32,
+}
+
+/// Errors produced when parsing a serialized trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of what failed to parse.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+impl TraceLog {
+    /// Records `steps` steps of a fresh fleet built from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps` is zero or `dt` is not positive.
+    pub fn record(
+        network: &RoadNetwork,
+        config: &FleetConfig,
+        steps: u32,
+        dt: f64,
+    ) -> TraceLog {
+        assert!(steps > 0, "a trace needs at least one step");
+        let mut fleet = Fleet::new(network, config);
+        let mut samples = Vec::with_capacity(steps as usize * config.vehicles);
+        let mut buf = Vec::new();
+        for _ in 0..steps {
+            fleet.step_into(dt, &mut buf);
+            samples.extend_from_slice(&buf);
+        }
+        TraceLog { samples, vehicles: config.vehicles as u32, steps }
+    }
+
+    /// All samples, step-major.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of vehicles per step.
+    pub fn vehicles(&self) -> u32 {
+        self.vehicles
+    }
+
+    /// Number of recorded steps.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// The samples of one step (all vehicles), or an empty slice out of
+    /// range.
+    pub fn step(&self, step: u32) -> &[TraceSample] {
+        if step >= self.steps {
+            return &[];
+        }
+        let per = self.vehicles as usize;
+        let start = step as usize * per;
+        &self.samples[start..start + per]
+    }
+
+    /// One vehicle's positions across all steps.
+    pub fn trajectory(&self, vehicle: VehicleId) -> Vec<Point> {
+        (0..self.steps)
+            .filter_map(|s| {
+                self.step(s)
+                    .iter()
+                    .find(|sample| sample.vehicle == vehicle)
+                    .map(|sample| sample.pos)
+            })
+            .collect()
+    }
+
+    /// The bounding box of every sampled position, or `None` for an empty
+    /// trace.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut it = self.samples.iter();
+        let first = it.next()?;
+        Some(it.fold(Rect::point(first.pos), |acc, s| acc.extended_to(s.pos)))
+    }
+
+    /// Total distance driven by all vehicles (sum of per-step straight-line
+    /// displacements), in meters.
+    pub fn total_distance_m(&self) -> f64 {
+        let mut total = 0.0;
+        for v in 0..self.vehicles {
+            let traj = self.trajectory(VehicleId(v));
+            total += traj.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>();
+        }
+        total
+    }
+
+    /// Serializes to the CSV wire format:
+    /// `step,vehicle,x,y,heading,speed` with a header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn save<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "step,vehicle,x,y,heading,speed")?;
+        let per = self.vehicles as usize;
+        for (i, s) in self.samples.iter().enumerate() {
+            writeln!(
+                writer,
+                "{},{},{:.3},{:.3},{:.6},{:.3}",
+                i / per,
+                s.vehicle.0,
+                s.pos.x,
+                s.pos.y,
+                s.heading,
+                s.speed
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Parses the CSV wire format produced by [`TraceLog::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] on malformed records (wrong arity,
+    /// unparsable numbers, inconsistent per-step vehicle counts) and
+    /// [`TraceError::Io`] on reader failures.
+    pub fn load<R: Read>(reader: R) -> Result<TraceLog, TraceError> {
+        let reader = BufReader::new(reader);
+        let mut samples: Vec<TraceSample> = Vec::new();
+        let mut vehicles_per_step: Option<u32> = None;
+        let mut current_step: i64 = -1;
+        let mut count_in_step = 0u32;
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            let lineno = idx + 1;
+            if idx == 0 {
+                if !line.starts_with("step,") {
+                    return Err(TraceError::Parse {
+                        line: lineno,
+                        reason: "missing header".into(),
+                    });
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 6 {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    reason: format!("expected 6 fields, found {}", fields.len()),
+                });
+            }
+            let parse_f = |s: &str, what: &str| -> Result<f64, TraceError> {
+                s.parse().map_err(|_| TraceError::Parse {
+                    line: lineno,
+                    reason: format!("bad {what}: {s:?}"),
+                })
+            };
+            let step: u32 = fields[0].parse().map_err(|_| TraceError::Parse {
+                line: lineno,
+                reason: format!("bad step: {:?}", fields[0]),
+            })?;
+            let vehicle: u32 = fields[1].parse().map_err(|_| TraceError::Parse {
+                line: lineno,
+                reason: format!("bad vehicle: {:?}", fields[1]),
+            })?;
+            let x = parse_f(fields[2], "x")?;
+            let y = parse_f(fields[3], "y")?;
+            let heading = parse_f(fields[4], "heading")?;
+            let speed = parse_f(fields[5], "speed")?;
+
+            if step as i64 != current_step {
+                if let Some(v) = vehicles_per_step {
+                    if current_step >= 0 && count_in_step != v {
+                        return Err(TraceError::Parse {
+                            line: lineno,
+                            reason: format!(
+                                "step {current_step} has {count_in_step} vehicles, expected {v}"
+                            ),
+                        });
+                    }
+                } else if current_step >= 0 {
+                    vehicles_per_step = Some(count_in_step);
+                }
+                current_step = step as i64;
+                count_in_step = 0;
+            }
+            count_in_step += 1;
+            samples.push(TraceSample {
+                time: step as f64,
+                vehicle: VehicleId(vehicle),
+                pos: Point::new(x, y),
+                heading,
+                speed,
+            });
+        }
+        let vehicles = vehicles_per_step.unwrap_or(count_in_step);
+        if vehicles == 0 {
+            return Ok(TraceLog::default());
+        }
+        if samples.len() % vehicles as usize != 0 {
+            return Err(TraceError::Parse {
+                line: 0,
+                reason: "sample count is not a multiple of the vehicle count".into(),
+            });
+        }
+        let steps = (samples.len() / vehicles as usize) as u32;
+        Ok(TraceLog { samples, vehicles, steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_network, NetworkConfig};
+
+    fn recorded() -> TraceLog {
+        let net = generate_network(&NetworkConfig::small_test());
+        let config = FleetConfig { vehicles: 5, seed: 21, ..FleetConfig::default() };
+        TraceLog::record(&net, &config, 40, 1.0)
+    }
+
+    #[test]
+    fn record_has_expected_shape() {
+        let log = recorded();
+        assert_eq!(log.vehicles(), 5);
+        assert_eq!(log.steps(), 40);
+        assert_eq!(log.samples().len(), 200);
+        assert_eq!(log.step(0).len(), 5);
+        assert_eq!(log.step(40).len(), 0, "out of range step is empty");
+    }
+
+    #[test]
+    fn trajectories_are_continuous() {
+        let log = recorded();
+        let traj = log.trajectory(VehicleId(2));
+        assert_eq!(traj.len(), 40);
+        for w in traj.windows(2) {
+            assert!(w[0].distance(w[1]) < 40.0, "jump between steps");
+        }
+        assert!(log.total_distance_m() > 100.0);
+    }
+
+    #[test]
+    fn save_load_round_trips_positions() {
+        let log = recorded();
+        let mut bytes = Vec::new();
+        log.save(&mut bytes).unwrap();
+        let loaded = TraceLog::load(bytes.as_slice()).unwrap();
+        assert_eq!(loaded.vehicles(), log.vehicles());
+        assert_eq!(loaded.steps(), log.steps());
+        for (a, b) in log.samples().iter().zip(loaded.samples()) {
+            assert_eq!(a.vehicle, b.vehicle);
+            assert!(a.pos.distance(b.pos) < 0.01, "positions round-trip at mm precision");
+            assert!((a.speed - b.speed).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn load_rejects_missing_header() {
+        let err = TraceLog::load("1,2,3,4,5,6\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_bad_arity_and_numbers() {
+        let header = "step,vehicle,x,y,heading,speed\n";
+        let short = format!("{header}0,0,1.0,2.0,0.5\n");
+        assert!(TraceLog::load(short.as_bytes()).is_err());
+        let bad_num = format!("{header}0,0,abc,2.0,0.5,3.0\n");
+        let err = TraceLog::load(bad_num.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad x"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_vehicle_counts() {
+        let text = "step,vehicle,x,y,heading,speed\n\
+                    0,0,1.0,1.0,0.0,1.0\n\
+                    0,1,2.0,2.0,0.0,1.0\n\
+                    1,0,1.5,1.5,0.0,1.0\n\
+                    2,0,2.0,2.0,0.0,1.0\n\
+                    2,1,2.5,2.5,0.0,1.0\n";
+        let err = TraceLog::load(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_loads_as_default() {
+        let log = TraceLog::load("step,vehicle,x,y,heading,speed\n".as_bytes()).unwrap();
+        assert_eq!(log, TraceLog::default());
+        assert!(log.bounding_box().is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_samples() {
+        let log = recorded();
+        let bb = log.bounding_box().unwrap();
+        for s in log.samples() {
+            assert!(bb.contains_point(s.pos));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the road-network substrate: generated networks
+//! are well-formed, routing is optimal against brute force on small graphs,
+//! and vehicle motion respects physics over arbitrary seeds.
+
+use proptest::prelude::*;
+use sa_roadnet::{generate_network, Fleet, FleetConfig, NetworkConfig, NodeId, RoadClass, Router};
+
+fn arb_network_config() -> impl Strategy<Value = NetworkConfig> {
+    (0u64..5_000, 0.0..0.45f64, 0.0..0.25f64, 2u32..8, 1u32..4).prop_map(
+        |(seed, jitter, dropout, highway, arterial)| NetworkConfig {
+            universe_side_m: 3_000.0,
+            junction_spacing_m: 500.0,
+            jitter_fraction: jitter,
+            dropout,
+            highway_period: highway,
+            arterial_period: arterial,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_networks_are_connected_and_in_bounds(config in arb_network_config()) {
+        let net = generate_network(&config);
+        prop_assert!(net.is_connected());
+        let bb = net.bounding_box();
+        prop_assert!(bb.min_x() >= -1e-9 && bb.max_x() <= config.universe_side_m + 1e-9);
+        prop_assert!(bb.min_y() >= -1e-9 && bb.max_y() <= config.universe_side_m + 1e-9);
+        // Every edge has positive length and valid endpoints.
+        for e in net.edges() {
+            prop_assert!(e.length > 0.0);
+            prop_assert!((e.a.0 as usize) < net.node_count());
+            prop_assert!((e.b.0 as usize) < net.node_count());
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_brute_force_on_small_networks(seed in 0u64..2_000) {
+        let net = generate_network(&NetworkConfig {
+            universe_side_m: 1_500.0,
+            junction_spacing_m: 500.0,
+            seed,
+            ..NetworkConfig::small_test()
+        });
+        let n = net.node_count();
+        // Floyd–Warshall oracle over travel times.
+        let mut dist = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for e in net.edges() {
+            let (a, b) = (e.a.0 as usize, e.b.0 as usize);
+            let t = e.travel_time();
+            if t < dist[a][b] {
+                dist[a][b] = t;
+                dist[b][a] = t;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        let mut router = Router::new(&net);
+        for (from, to) in [(0usize, n - 1), (1, n / 2), (n / 3, 2 * n / 3)] {
+            let path = router.route(NodeId(from as u32), NodeId(to as u32));
+            prop_assert!(path.is_some(), "connected network must route");
+            let cost = router.last_cost(NodeId(to as u32)).unwrap();
+            prop_assert!(
+                (cost - dist[from][to]).abs() < 1e-6,
+                "route {from}->{to}: dijkstra {cost} vs oracle {}", dist[from][to]
+            );
+        }
+    }
+
+    #[test]
+    fn vehicles_obey_speed_limits_and_stay_on_the_map(
+        seed in 0u64..2_000,
+        vehicles in 1usize..8,
+        dt in 0.5..2.5f64,
+    ) {
+        let config = NetworkConfig { seed: seed ^ 0x11, ..NetworkConfig::small_test() };
+        let net = generate_network(&config);
+        let fleet_config = FleetConfig {
+            vehicles,
+            seed,
+            ..FleetConfig::default()
+        };
+        let mut fleet = Fleet::new(&net, &fleet_config);
+        let bb = net.bounding_box();
+        let v_max = RoadClass::Highway.speed_mps() * fleet_config.max_speed_factor;
+        let mut prev: Option<Vec<sa_geometry::Point>> = None;
+        for _ in 0..60 {
+            let samples = fleet.step(dt);
+            for (i, s) in samples.iter().enumerate() {
+                prop_assert!(bb.contains_point(s.pos), "vehicle {i} left the map");
+                prop_assert!(s.speed > 0.0 && s.speed <= v_max + 1e-9);
+                if let Some(prev) = &prev {
+                    // Straight-line displacement can never exceed the track
+                    // distance travelled at v_max.
+                    prop_assert!(prev[i].distance(s.pos) <= v_max * dt + 1e-6);
+                }
+            }
+            prev = Some(samples.iter().map(|s| s.pos).collect());
+        }
+    }
+}

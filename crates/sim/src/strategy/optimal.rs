@@ -1,0 +1,168 @@
+use crate::message::payload;
+use crate::strategy::Strategy;
+use crate::ServerCtx;
+use sa_alarms::{AlarmId, SubscriberId};
+use sa_geometry::{CellId, Rect};
+use sa_roadnet::TraceSample;
+use std::collections::HashMap;
+
+/// OPT — the optimal baseline described at the start of §4: the server
+/// pushes the grid cell and every alarm overlapping it, giving the client
+/// "the complete knowledge of all alarms in its vicinity".
+///
+/// The client evaluates every pushed alarm on every GPS fix (expensive —
+/// Figure 6(c)) and contacts the server only to notify a trigger or to
+/// fetch the alarm set of a newly entered cell, so it transmits the fewest
+/// messages (Figure 6(a)) at the price of the largest downlink payloads
+/// (Figure 6(b)) and heavy load on weak clients in alarm-dense areas.
+/// Irrelevant alarms (other users' private alarms) are spatially tested
+/// like any other but never fire for this subscriber.
+#[derive(Debug, Default)]
+pub struct OptimalStrategy {
+    /// Per subscriber: current cell and pushed `(alarm, region, relevant)`
+    /// entries.
+    sets: HashMap<SubscriberId, (CellId, Vec<(AlarmId, Rect, bool)>)>,
+}
+
+impl OptimalStrategy {
+    /// Creates the strategy.
+    pub fn new() -> OptimalStrategy {
+        OptimalStrategy::default()
+    }
+}
+
+impl Strategy for OptimalStrategy {
+    fn on_sample(&mut self, step: u32, sample: &TraceSample, server: &mut ServerCtx<'_>) {
+        server.metrics.samples += 1;
+        let user = SubscriberId(sample.vehicle.0);
+        let cell_now = server.grid().cell_of(sample.pos);
+
+        let known = self.sets.get(&user).map(|(cell, _)| *cell);
+        if known != Some(cell_now) {
+            // Cell transition: the server evaluates this sample and pushes
+            // the new cell's relevant unfired alarms.
+            server.metrics.uplink_messages += 1;
+            server.check_triggers(step, user, sample.pos);
+            let rect = server.grid().cell_rect(cell_now);
+            let set = server.all_unfired_alarm_set_in(user, rect);
+            server.metrics.server.region_computations += 1;
+            server.send_downlink(payload::REGION_HEADER_BITS + set.len() * payload::ALARM_PUSH_BITS);
+            self.sets.insert(user, (cell_now, set));
+            return;
+        }
+
+        // Client-side evaluation of the full pushed alarm set.
+        let (_, set) = self.sets.get_mut(&user).expect("set exists for known cell");
+        server.metrics.client_checks += 1;
+        server.metrics.client_check_ops += 4 * set.len() as u64;
+        let mut fired: Vec<AlarmId> = Vec::new();
+        set.retain(|(id, region, relevant)| {
+            if region.contains_point_strict(sample.pos) {
+                if *relevant {
+                    fired.push(*id);
+                }
+                // Spatially satisfied alarms leave the working set either
+                // way: relevant ones fired, irrelevant ones can never fire
+                // for this subscriber.
+                false
+            } else {
+                true
+            }
+        });
+        for id in fired {
+            // Trigger notification to the server.
+            server.metrics.uplink_messages += 1;
+            let _ = payload::TRIGGER_NOTIFY_BITS;
+            server.record_client_fire(step, user, id);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_alarms::{AlarmIndex, AlarmScope, SpatialAlarm};
+    use sa_geometry::{Grid, Point};
+    use sa_roadnet::VehicleId;
+
+    fn world() -> (AlarmIndex, Grid) {
+        let universe = Rect::new(0.0, 0.0, 8_000.0, 8_000.0).unwrap();
+        let index = AlarmIndex::build(vec![
+            SpatialAlarm::around_static_target(
+                AlarmId(0),
+                Point::new(1_000.0, 1_000.0),
+                300.0,
+                AlarmScope::Public { owner: SubscriberId(0) },
+            )
+            .unwrap(),
+            SpatialAlarm::around_static_target(
+                AlarmId(1),
+                Point::new(1_400.0, 1_000.0),
+                250.0,
+                AlarmScope::Public { owner: SubscriberId(0) },
+            )
+            .unwrap(),
+        ]);
+        let grid = Grid::new(universe, 2_000.0).unwrap();
+        (index, grid)
+    }
+
+    fn drive(server: &mut ServerCtx<'_>, path: impl Iterator<Item = (f64, f64)>) {
+        let mut strategy = OptimalStrategy::new();
+        for (step, (x, y)) in path.enumerate() {
+            let sample = TraceSample {
+                time: step as f64,
+                vehicle: VehicleId(0),
+                pos: Point::new(x, y),
+                heading: 0.0,
+                speed: 15.0,
+            };
+            strategy.on_sample(step as u32, &sample, server);
+        }
+    }
+
+    #[test]
+    fn messages_only_on_cell_changes_and_triggers() {
+        let (index, grid) = world();
+        let mut server = ServerCtx::new(&index, &grid, 30.0, 1.0);
+        // Drive through both alarms within one cell, then into the next cell.
+        drive(&mut server, (0..220).map(|i| (200.0 + i as f64 * 10.0, 1_000.0)));
+        // Uplink: initial fetch + 2 trigger notifications + 1 cell change at
+        // x = 2000 (then none until x = 2400 end... path ends at 2390).
+        assert_eq!(server.metrics.triggers, 2);
+        assert_eq!(server.metrics.uplink_messages, 4);
+        // Two downlink alarm-set pushes + 2 trigger deliveries.
+        assert_eq!(server.metrics.downlink_messages, 4);
+    }
+
+    #[test]
+    fn firing_steps_match_strict_entry() {
+        let (index, grid) = world();
+        let mut server = ServerCtx::new(&index, &grid, 30.0, 1.0);
+        drive(&mut server, (0..220).map(|i| (200.0 + i as f64 * 10.0, 1_000.0)));
+        let mut events = server.fired_events().to_vec();
+        events.sort_unstable();
+        // Alarm 0 region x > 700 → step 51 (x = 710); alarm 1 region
+        // x > 1150 → step 96 (x = 1160).
+        assert_eq!(events[0].alarm, AlarmId(0));
+        assert_eq!(events[0].step, 51);
+        assert_eq!(events[1].alarm, AlarmId(1));
+        assert_eq!(events[1].step, 96);
+    }
+
+    #[test]
+    fn client_ops_scale_with_alarm_set_size() {
+        let (index, grid) = world();
+        let mut dense = ServerCtx::new(&index, &grid, 30.0, 1.0);
+        // Stay in the alarm-dense cell.
+        drive(&mut dense, (0..100).map(|i| (300.0, 300.0 + (i % 7) as f64)));
+        let empty_index = AlarmIndex::build(vec![]);
+        let mut sparse = ServerCtx::new(&empty_index, &grid, 30.0, 1.0);
+        drive(&mut sparse, (0..100).map(|i| (300.0, 300.0 + (i % 7) as f64)));
+        assert!(dense.metrics.client_check_ops > sparse.metrics.client_check_ops);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based end-to-end tests: for randomized small worlds (random
+//! seeds, alarm densities, region sizes, grid cells, sampling rates), every
+//! processing strategy must fire the exact ground-truth alarm sequence.
+//! This is the strongest claim the system makes, exercised over a much
+//! wider configuration space than the deterministic smoke tests.
+
+use proptest::prelude::*;
+use sa_geometry::Rect;
+use sa_roadnet::{FleetConfig, NetworkConfig};
+use sa_sim::{SimulationConfig, SimulationHarness, StrategyKind};
+
+fn arb_config() -> impl Strategy<Value = SimulationConfig> {
+    (
+        0u64..10_000,          // world seed
+        20usize..120,          // alarms
+        0.05..0.35f64,         // public fraction
+        40.0..300.0f64,        // min region half extent
+        0.3..2.0f64,           // cell area km²
+        1u32..3,               // sample period (1 or 2 s)
+        0usize..4,             // moving alarms
+    )
+        .prop_map(|(seed, alarms, public, min_extent, cell, period, moving)| {
+            let network = NetworkConfig { seed: seed ^ 0xAB, ..NetworkConfig::small_test() };
+            let universe = Rect::new(0.0, 0.0, network.universe_side_m, network.universe_side_m)
+                .expect("universe is valid");
+            let mut config = SimulationConfig::smoke_test();
+            config.network = network;
+            config.fleet = FleetConfig { vehicles: 8, seed: seed ^ 0xCD, ..FleetConfig::default() };
+            config.workload.alarms = alarms;
+            config.workload.subscribers = 8;
+            config.workload.universe = universe;
+            config.workload.public_fraction = public;
+            config.workload.region_half_extent_m = (min_extent, min_extent + 150.0);
+            config.workload.seed = seed ^ 0xEF;
+            config.cell_area_km2 = cell;
+            config.sample_period_s = period as f64;
+            config.duration_s = 180.0;
+            config.moving_alarms = moving;
+            config
+        })
+}
+
+proptest! {
+    // Each case builds a world and runs several strategies; keep the case
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_strategy_is_accurate_on_random_worlds(config in arb_config()) {
+        let harness = SimulationHarness::build(&config);
+        for kind in [
+            StrategyKind::Periodic,
+            StrategyKind::SafePeriod,
+            StrategyKind::Mwpsr { y: 1.0, z: 16 },
+            StrategyKind::MwpsrNonWeighted,
+            StrategyKind::Pbsr { height: 2 },
+            StrategyKind::Pbsr { height: 5 },
+            StrategyKind::PbsrBroadcast { height: 4 },
+            StrategyKind::Optimal,
+        ] {
+            let report = harness.run(kind);
+            prop_assert!(
+                report.accuracy_ok,
+                "{} inaccurate on seed world: {}",
+                kind.label(),
+                report.accuracy_error.unwrap_or_default()
+            );
+        }
+    }
+
+    #[test]
+    fn safe_regions_always_beat_periodic_on_messages(config in arb_config()) {
+        // Static-only comparison: the moving-target coordinator adds its
+        // own reports uniformly on top of every strategy.
+        let mut config = config;
+        config.moving_alarms = 0;
+        let harness = SimulationHarness::build(&config);
+        let prd = harness.run(StrategyKind::Periodic);
+        let mwpsr = harness.run(StrategyKind::Mwpsr { y: 1.0, z: 16 });
+        prop_assert!(prd.accuracy_ok && mwpsr.accuracy_ok);
+        prop_assert_eq!(prd.metrics.uplink_messages, harness.total_samples());
+        prop_assert!(
+            mwpsr.metrics.uplink_messages <= prd.metrics.uplink_messages,
+            "MWPSR {} > PRD {}", mwpsr.metrics.uplink_messages, prd.metrics.uplink_messages
+        );
+    }
+}

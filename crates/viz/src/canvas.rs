@@ -1,0 +1,170 @@
+use sa_geometry::{Point, Rect};
+use std::fmt::Write as _;
+
+/// A minimal SVG canvas mapping universe coordinates (meters, y-up) onto a
+/// fixed-width viewport (pixels, y-down).
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    universe: Rect,
+    width_px: u32,
+    height_px: u32,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// A canvas covering `universe`, `width_px` pixels wide (height follows
+    /// the universe's aspect ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universe is degenerate or `width_px` is zero.
+    pub fn new(universe: Rect, width_px: u32) -> SvgCanvas {
+        assert!(universe.width() > 0.0 && universe.height() > 0.0, "degenerate universe");
+        assert!(width_px > 0, "zero-width canvas");
+        let height_px =
+            ((universe.height() / universe.width()) * width_px as f64).round().max(1.0) as u32;
+        SvgCanvas { universe, width_px, height_px, body: String::new() }
+    }
+
+    /// The universe this canvas maps.
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Viewport size in pixels.
+    pub fn size_px(&self) -> (u32, u32) {
+        (self.width_px, self.height_px)
+    }
+
+    fn sx(&self, x: f64) -> f64 {
+        (x - self.universe.min_x()) / self.universe.width() * self.width_px as f64
+    }
+
+    fn sy(&self, y: f64) -> f64 {
+        // Flip: universe north renders up.
+        (self.universe.max_y() - y) / self.universe.height() * self.height_px as f64
+    }
+
+    /// Draws a filled (and optionally stroked) rectangle.
+    pub fn rect(&mut self, r: Rect, fill: &str, opacity: f64, stroke: Option<&str>) {
+        let x = self.sx(r.min_x());
+        let y = self.sy(r.max_y());
+        let w = self.sx(r.max_x()) - x;
+        let h = self.sy(r.min_y()) - y;
+        let stroke_attr = match stroke {
+            Some(c) => format!(" stroke=\"{c}\" stroke-width=\"1\""),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            self.body,
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+             fill=\"{fill}\" fill-opacity=\"{opacity:.3}\"{stroke_attr}/>"
+        );
+    }
+
+    /// Draws a line segment.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            "  <line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" \
+             stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>",
+            self.sx(a.x),
+            self.sy(a.y),
+            self.sx(b.x),
+            self.sy(b.y),
+        );
+    }
+
+    /// Draws a filled circle of `radius_px` pixels.
+    pub fn circle(&mut self, center: Point, radius_px: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{radius_px:.2}\" fill=\"{fill}\"/>",
+            self.sx(center.x),
+            self.sy(center.y),
+        );
+    }
+
+    /// Draws a text label anchored at `at`.
+    pub fn text(&mut self, at: Point, size_px: f64, fill: &str, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            "  <text x=\"{:.2}\" y=\"{:.2}\" font-size=\"{size_px:.1}\" \
+             font-family=\"sans-serif\" fill=\"{fill}\">{escaped}</text>",
+            self.sx(at.x),
+            self.sy(at.y),
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">\n  <rect width=\"{w}\" height=\"{h}\" fill=\"#fcfcf8\"/>\n{body}</svg>\n",
+            w = self.width_px,
+            h = self.height_px,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> SvgCanvas {
+        SvgCanvas::new(Rect::new(0.0, 0.0, 1_000.0, 500.0).unwrap(), 800)
+    }
+
+    #[test]
+    fn aspect_ratio_follows_universe() {
+        let c = canvas();
+        assert_eq!(c.size_px(), (800, 400));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = canvas();
+        // The universe's top-left corner maps to pixel (0, 0).
+        c.circle(Point::new(0.0, 500.0), 1.0, "#000");
+        let svg = c.finish();
+        assert!(svg.contains("cx=\"0.00\" cy=\"0.00\""), "{svg}");
+    }
+
+    #[test]
+    fn rect_pixels_are_consistent() {
+        let mut c = canvas();
+        c.rect(Rect::new(0.0, 0.0, 500.0, 250.0).unwrap(), "#123456", 0.5, Some("#000"));
+        let svg = c.finish();
+        // Lower-left quarter of the universe: x 0, y 200 (top of the rect),
+        // 400 x 200 px.
+        assert!(svg.contains("x=\"0.00\" y=\"200.00\" width=\"400.00\" height=\"200.00\""));
+        assert!(svg.contains("stroke=\"#000\""));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut c = canvas();
+        c.text(Point::new(10.0, 10.0), 12.0, "#000", "a<b & c>d");
+        let svg = c.finish();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+    }
+
+    #[test]
+    fn document_is_well_formed_shell() {
+        let svg = canvas().finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn rejects_zero_width() {
+        SvgCanvas::new(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 0);
+    }
+}

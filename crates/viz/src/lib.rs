@@ -1,0 +1,33 @@
+//! SVG rendering of the system's spatial state — road networks, alarm
+//! workloads, grid overlays and safe regions — for debugging, documentation
+//! and eyeballing what the algorithms actually compute.
+//!
+//! The renderer is dependency-free: it emits plain SVG strings through
+//! [`SvgCanvas`], with y flipped so that universe "north" points up.
+//!
+//! # Example
+//!
+//! ```
+//! use sa_viz::SvgCanvas;
+//! use sa_geometry::{Point, Rect};
+//!
+//! # fn main() -> Result<(), sa_geometry::GeometryError> {
+//! let universe = Rect::new(0.0, 0.0, 1_000.0, 1_000.0)?;
+//! let mut canvas = SvgCanvas::new(universe, 400);
+//! canvas.rect(Rect::new(100.0, 100.0, 300.0, 250.0)?, "#2d7dd2", 0.4, None);
+//! canvas.circle(Point::new(500.0, 500.0), 4.0, "#d7263d");
+//! let svg = canvas.finish();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canvas;
+mod scene;
+
+pub use canvas::SvgCanvas;
+pub use scene::SceneRenderer;

@@ -1,0 +1,182 @@
+use crate::SvgCanvas;
+use sa_alarms::{SpatialAlarm, SubscriberId};
+use sa_core::{BitmapSafeRegion, RectSafeRegion};
+use sa_geometry::{Grid, Point, Rect};
+use sa_roadnet::{RoadClass, RoadNetwork};
+
+/// Composes the standard scene layers — road network, grid overlay, alarm
+/// regions, safe regions, subscribers — into one SVG document.
+///
+/// ```
+/// use sa_viz::SceneRenderer;
+/// use sa_roadnet::{generate_network, NetworkConfig};
+///
+/// let network = generate_network(&NetworkConfig::small_test());
+/// let svg = SceneRenderer::new(network.bounding_box(), 480)
+///     .road_network(&network)
+///     .finish();
+/// assert!(svg.contains("<line"));
+/// ```
+#[derive(Debug)]
+pub struct SceneRenderer {
+    canvas: SvgCanvas,
+}
+
+impl SceneRenderer {
+    /// A renderer over `universe`, `width_px` pixels wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate universe or zero width (see
+    /// [`SvgCanvas::new`]).
+    pub fn new(universe: Rect, width_px: u32) -> SceneRenderer {
+        SceneRenderer { canvas: SvgCanvas::new(universe, width_px) }
+    }
+
+    /// Draws every road segment, colored and weighted by class.
+    pub fn road_network(mut self, network: &RoadNetwork) -> SceneRenderer {
+        for edge in network.edges() {
+            let (color, width) = match edge.class {
+                RoadClass::Highway => ("#51543a", 2.2),
+                RoadClass::Arterial => ("#8a8d74", 1.4),
+                RoadClass::Local => ("#c5c7b8", 0.7),
+            };
+            let a = network.node(edge.a).pos;
+            let b = network.node(edge.b).pos;
+            self.canvas.line(a, b, color, width);
+        }
+        self
+    }
+
+    /// Draws the grid overlay as thin outlines.
+    pub fn grid(mut self, grid: &Grid) -> SceneRenderer {
+        for row in 0..grid.rows() {
+            for col in 0..grid.cols() {
+                let rect = grid.cell_rect(sa_geometry::CellId { col, row });
+                self.canvas.rect(rect, "none", 0.0, Some("#b9c0c9"));
+            }
+        }
+        self
+    }
+
+    /// Draws alarm regions: public alarms red, personal (private/shared)
+    /// alarms orange; alarms relevant to `highlight_for` get full opacity.
+    pub fn alarms(mut self, alarms: &[SpatialAlarm], highlight_for: Option<SubscriberId>) -> SceneRenderer {
+        for alarm in alarms {
+            let color = if alarm.is_public() { "#d7263d" } else { "#f46036" };
+            let opacity = match highlight_for {
+                Some(user) if alarm.is_relevant_to(user) => 0.55,
+                Some(_) => 0.10,
+                None => 0.35,
+            };
+            self.canvas.rect(alarm.region(), color, opacity, None);
+        }
+        self
+    }
+
+    /// Draws a rectangular safe region (MWPSR output).
+    pub fn rect_safe_region(mut self, region: &RectSafeRegion) -> SceneRenderer {
+        self.canvas.rect(region.rect(), "#2d7dd2", 0.25, Some("#2d7dd2"));
+        self
+    }
+
+    /// Draws a bitmap safe region (GBSR/PBSR output) by decoding it into
+    /// its safe cells.
+    pub fn bitmap_safe_region(mut self, region: &BitmapSafeRegion) -> SceneRenderer {
+        for rect in region.decode().rects() {
+            self.canvas.rect(*rect, "#1b998b", 0.30, None);
+        }
+        self.canvas.rect(region.cell(), "none", 0.0, Some("#1b998b"));
+        self
+    }
+
+    /// Marks a subscriber position.
+    pub fn subscriber(mut self, pos: Point, label: &str) -> SceneRenderer {
+        self.canvas.circle(pos, 4.0, "#101419");
+        self.canvas.text(
+            Point::new(pos.x, pos.y),
+            11.0,
+            "#101419",
+            label,
+        );
+        self
+    }
+
+    /// Finalizes the SVG document.
+    pub fn finish(self) -> String {
+        self.canvas.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_alarms::{AlarmId, AlarmScope};
+    use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
+    use sa_roadnet::{generate_network, NetworkConfig};
+
+    fn universe() -> Rect {
+        Rect::new(0.0, 0.0, 4_000.0, 4_000.0).unwrap()
+    }
+
+    fn alarms() -> Vec<SpatialAlarm> {
+        vec![
+            SpatialAlarm::around_static_target(
+                AlarmId(0),
+                Point::new(1_000.0, 1_000.0),
+                200.0,
+                AlarmScope::Public { owner: SubscriberId(0) },
+            )
+            .unwrap(),
+            SpatialAlarm::around_static_target(
+                AlarmId(1),
+                Point::new(2_500.0, 2_500.0),
+                150.0,
+                AlarmScope::Private { owner: SubscriberId(3) },
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn full_scene_renders_every_layer() {
+        let network = generate_network(&NetworkConfig::small_test());
+        let grid = Grid::new(universe(), 1_000.0).unwrap();
+        let alarms = alarms();
+        let user_pos = Point::new(500.0, 2_000.0);
+        let cell = grid.cell_rect(grid.cell_of(user_pos));
+        let obstacles: Vec<Rect> = alarms.iter().map(|a| a.region()).collect();
+        let rect_region = MwpsrComputer::non_weighted().compute(user_pos, 0.0, cell, &obstacles);
+        let bitmap_region =
+            PyramidComputer::new(PyramidConfig::three_by_three(3)).compute(cell, &obstacles);
+
+        let svg = SceneRenderer::new(universe(), 600)
+            .road_network(&network)
+            .grid(&grid)
+            .alarms(&alarms, Some(SubscriberId(3)))
+            .rect_safe_region(&rect_region)
+            .bitmap_safe_region(&bitmap_region)
+            .subscriber(user_pos, "user#3")
+            .finish();
+
+        assert!(svg.contains("<line"), "road segments missing");
+        assert!(svg.contains("#d7263d"), "public alarm missing");
+        assert!(svg.contains("#f46036"), "private alarm missing");
+        assert!(svg.contains("#2d7dd2"), "rect safe region missing");
+        assert!(svg.contains("#1b998b"), "bitmap safe region missing");
+        assert!(svg.contains("user#3"), "subscriber label missing");
+        // Well-formed shell.
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn relevance_highlight_dims_foreign_alarms() {
+        let svg = SceneRenderer::new(universe(), 300)
+            .alarms(&alarms(), Some(SubscriberId(9)))
+            .finish();
+        // User 9 only subscribes to the public alarm; the private one is
+        // dimmed to 0.10 opacity.
+        assert!(svg.contains("fill-opacity=\"0.100\""));
+        assert!(svg.contains("fill-opacity=\"0.550\""));
+    }
+}

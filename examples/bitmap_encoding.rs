@@ -1,0 +1,69 @@
+//! The Figure 3 worked example: bitmap-encoded safe regions.
+//!
+//! Reconstructs the paper's grid cell with four intersecting alarm regions
+//! and shows how GBSR and PBSR encode the same safe region — including the
+//! paper's headline numbers: the 9×9 GBSR needs **82 bits** while the
+//! height-2 PBSR needs only **64 bits** for a finer representation.
+//!
+//! Run with: `cargo run --example bitmap_encoding`
+
+use spatial_alarms::core::{PyramidComputer, PyramidConfig, SafeRegion};
+use spatial_alarms::geometry::{Point, Rect};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 3(a): a grid cell with four alarm regions whose
+    // 3×3 split yields the bitmap pattern 000 011 010 (top row first).
+    let cell = Rect::new(0.0, 0.0, 9.0, 9.0)?;
+    let alarms = vec![
+        Rect::new(0.0, 6.5, 9.0, 9.0)?, // R(S,A1): spans the whole top band
+        Rect::new(0.5, 3.5, 1.5, 5.0)?, // R(S,A2): middle-left
+        Rect::new(0.5, 1.0, 1.5, 2.0)?, // R(S,A3): bottom-left
+        Rect::new(7.0, 1.0, 8.0, 2.0)?, // R(S,A4): bottom-right
+    ];
+
+    println!("grid cell: {cell}");
+    for (i, a) in alarms.iter().enumerate() {
+        println!("alarm region A{}: {a}", i + 1);
+    }
+
+    // Figure 3(b): the coarse 3×3 GBSR.
+    let gbsr3 = PyramidComputer::new(PyramidConfig::three_by_three(1)).compute(cell, &alarms);
+    println!("\nGBSR 3x3   bitmap: {}", gbsr3.to_bitstring());
+    println!("           bits: {:>3}  coverage: {:>5.1}%", gbsr3.bitmap_size(), gbsr3.coverage() * 100.0);
+
+    // Figure 3(c): the fine but wasteful 9×9 GBSR.
+    let gbsr9 = PyramidComputer::new(PyramidConfig::gbsr(9, 9)).compute(cell, &alarms);
+    println!("GBSR 9x9   bits: {:>3}  coverage: {:>5.1}%", gbsr9.bitmap_size(), gbsr9.coverage() * 100.0);
+
+    // Figure 3(d): the height-2 pyramid — finer *and* smaller.
+    let pbsr = PyramidComputer::new(PyramidConfig::three_by_three(2)).compute(cell, &alarms);
+    println!("PBSR h=2   bits: {:>3}  coverage: {:>5.1}%", pbsr.bitmap_size(), pbsr.coverage() * 100.0);
+    println!("           bitmap: {}", pbsr.to_bitstring());
+    assert_eq!(gbsr9.bitmap_size(), 82, "paper: GBSR 9x9 needs 82 bits");
+    assert_eq!(pbsr.bitmap_size(), 64, "paper: PBSR h=2 needs 64 bits");
+
+    // Deeper pyramids keep refining where the alarms are.
+    println!("\nheight sweep (3x3 pyramid):");
+    println!("  h  bits  coverage  worst-case check ops");
+    for h in 1..=6 {
+        let region = PyramidComputer::new(PyramidConfig::three_by_three(h)).compute(cell, &alarms);
+        println!(
+            "  {h}  {:>4}  {:>7.1}%  {:>3}",
+            region.bitmap_size(),
+            region.coverage() * 100.0,
+            region.worst_case_check_ops()
+        );
+    }
+
+    // Client-side containment detection descends at most h levels.
+    let pbsr5 = PyramidComputer::new(PyramidConfig::three_by_three(5)).compute(cell, &alarms);
+    for p in [Point::new(4.5, 4.5), Point::new(1.0, 4.2), Point::new(0.9, 8.0)] {
+        let (inside, levels) = pbsr5.contains_with_cost(p);
+        println!(
+            "point {p}: {} (descended {levels} level{})",
+            if inside { "safe" } else { "blocked" },
+            if levels == 1 { "" } else { "s" }
+        );
+    }
+    Ok(())
+}

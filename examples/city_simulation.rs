@@ -1,0 +1,62 @@
+//! City-scale end-to-end simulation: vehicles commute across a synthetic
+//! road network while the distributed safe-region architecture processes
+//! their spatial alarms. Compares all five processing strategies on the
+//! identical trace and prints the paper's four metric families.
+//!
+//! Run with: `cargo run --release --example city_simulation`
+
+use spatial_alarms::sim::{
+    EnergyModel, ServerCostModel, SimulationConfig, SimulationHarness, StrategyKind,
+};
+
+fn main() {
+    // A laptop-sized slice of the paper's setup: 200 vehicles for 10
+    // simulated minutes against the full 10,000-alarm workload.
+    let mut config = SimulationConfig::scaled(0.02);
+    config.duration_s = 600.0;
+    println!(
+        "world: {} vehicles, {} alarms, {:.0} km² universe, {:.0}s at {:.0} Hz",
+        config.fleet.vehicles,
+        config.workload.alarms,
+        config.universe().area() / 1.0e6,
+        config.duration_s,
+        1.0 / config.sample_period_s
+    );
+
+    println!("building harness (network, alarm index, ground truth)...");
+    let harness = SimulationHarness::build(&config);
+    println!(
+        "ground truth: {} alarm firings across {} location samples\n",
+        harness.ground_truth().len(),
+        harness.total_samples()
+    );
+
+    let energy = EnergyModel::default();
+    let cost = ServerCostModel::default();
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>14} {:>9}",
+        "strategy", "messages", "% of samples", "downlink Mbps", "energy (mWh)", "server min"
+    );
+    for kind in [
+        StrategyKind::Periodic,
+        StrategyKind::SafePeriod,
+        StrategyKind::MwpsrNonWeighted,
+        StrategyKind::Mwpsr { y: 1.0, z: 32 },
+        StrategyKind::Pbsr { height: 5 },
+        StrategyKind::Optimal,
+    ] {
+        let report = harness.run(kind);
+        report.assert_accurate(); // 100% of alarms fired, on time
+        let (alarm_min, region_min) = report.server_minutes(&cost);
+        println!(
+            "{:<22} {:>10} {:>11.2}% {:>13.4} {:>14.2} {:>9.3}",
+            kind.label(),
+            report.metrics.uplink_messages,
+            100.0 * report.metrics.uplink_messages as f64 / harness.total_samples() as f64,
+            report.downlink_mbps(),
+            report.client_energy_mwh(&energy),
+            alarm_min + region_min,
+        );
+    }
+    println!("\nevery strategy fired the identical ground-truth alarm sequence (100% accuracy)");
+}

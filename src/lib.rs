@@ -1,0 +1,25 @@
+//! Facade crate for the spatial-alarms workspace.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! - [`geometry`] — points, rectangles, grids and the steady-motion pdf,
+//! - [`index`] — the R*-tree spatial index,
+//! - [`roadnet`] — the road-network mobility simulator,
+//! - [`alarms`] — the spatial alarm model and workload generator,
+//! - [`core`] — safe-region computation (MWPSR, GBSR, PBSR),
+//! - [`sim`] — the distributed processing simulation and baselines,
+//! - [`viz`] — SVG rendering of networks, workloads and safe regions.
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+#![forbid(unsafe_code)]
+
+pub use sa_alarms as alarms;
+pub use sa_core as core;
+pub use sa_geometry as geometry;
+pub use sa_index as index;
+pub use sa_roadnet as roadnet;
+pub use sa_sim as sim;
+pub use sa_viz as viz;

@@ -1,0 +1,158 @@
+//! End-to-end integration tests across all workspace crates: build the full
+//! world (road network → fleet → alarms → index → grid), run every
+//! processing strategy over the identical trace, and assert both the 100%
+//! accuracy requirement and the paper's comparative shapes at test scale.
+
+use spatial_alarms::sim::{
+    EnergyModel, ServerCostModel, SimulationConfig, SimulationHarness, StrategyKind,
+};
+
+fn harness() -> SimulationHarness {
+    SimulationHarness::build(&SimulationConfig::smoke_test())
+}
+
+#[test]
+fn every_strategy_fires_the_exact_ground_truth_sequence() {
+    let h = harness();
+    assert!(!h.ground_truth().is_empty(), "test world must fire some alarms");
+    for kind in [
+        StrategyKind::Periodic,
+        StrategyKind::SafePeriod,
+        StrategyKind::MwpsrNonWeighted,
+        StrategyKind::Mwpsr { y: 1.0, z: 4 },
+        StrategyKind::Mwpsr { y: 1.0, z: 16 },
+        StrategyKind::Mwpsr { y: 1.0, z: 32 },
+        StrategyKind::Pbsr { height: 1 },
+        StrategyKind::Pbsr { height: 3 },
+        StrategyKind::Pbsr { height: 5 },
+        StrategyKind::Pbsr { height: 7 },
+        StrategyKind::PbsrBroadcast { height: 5 },
+        StrategyKind::Gbsr { u: 9, v: 9 },
+        StrategyKind::Optimal,
+    ] {
+        h.run(kind).assert_accurate();
+    }
+}
+
+#[test]
+fn message_ordering_matches_figure_6a() {
+    let h = harness();
+    let prd = h.run(StrategyKind::Periodic).metrics.uplink_messages;
+    let sp = h.run(StrategyKind::SafePeriod).metrics.uplink_messages;
+    let mwpsr = h.run(StrategyKind::Mwpsr { y: 1.0, z: 32 }).metrics.uplink_messages;
+    let opt = h.run(StrategyKind::Optimal).metrics.uplink_messages;
+
+    // PRD sends every sample.
+    assert_eq!(prd, h.total_samples());
+    // Safe regions beat the safe period, which beats periodic.
+    assert!(mwpsr < sp, "MWPSR {mwpsr} >= SP {sp}");
+    assert!(sp < prd, "SP {sp} >= PRD {prd}");
+    // The optimal bound transmits the least.
+    assert!(opt <= mwpsr, "OPT {opt} > MWPSR {mwpsr}");
+}
+
+#[test]
+fn safe_region_messages_are_a_small_fraction_of_samples() {
+    // Paper §5: "less than 3% of messages need to be communicated to the
+    // server using any of the rectangular safe region approaches". Allow a
+    // looser bound at tiny test scale.
+    let h = harness();
+    let mwpsr = h.run(StrategyKind::Mwpsr { y: 1.0, z: 32 }).metrics.uplink_messages;
+    let fraction = mwpsr as f64 / h.total_samples() as f64;
+    assert!(fraction < 0.20, "MWPSR sent {:.1}% of samples", fraction * 100.0);
+}
+
+#[test]
+fn pyramid_height_reduces_messages_like_figure_5a() {
+    let h = harness();
+    let coarse = h.run(StrategyKind::Pbsr { height: 1 }).metrics.uplink_messages;
+    let fine = h.run(StrategyKind::Pbsr { height: 5 }).metrics.uplink_messages;
+    assert!(fine < coarse, "h=5 ({fine}) should beat GBSR h=1 ({coarse})");
+}
+
+#[test]
+fn opt_burns_the_most_client_energy_like_figure_6c() {
+    let h = harness();
+    let model = EnergyModel::default();
+    let opt = h.run(StrategyKind::Optimal).metrics.client_check_energy_mwh(&model);
+    let mwpsr = h
+        .run(StrategyKind::Mwpsr { y: 1.0, z: 32 })
+        .metrics
+        .client_check_energy_mwh(&model);
+    let pbsr = h.run(StrategyKind::Pbsr { height: 5 }).metrics.client_check_energy_mwh(&model);
+    assert!(opt > mwpsr, "OPT {opt} <= MWPSR {mwpsr}");
+    assert!(opt > pbsr, "OPT {opt} <= PBSR {pbsr}");
+}
+
+#[test]
+fn periodic_dominates_server_load_like_figure_6d() {
+    let h = harness();
+    let cost = ServerCostModel::default();
+    let (prd_alarm, _) = h.run(StrategyKind::Periodic).server_minutes(&cost);
+    let mwpsr = h.run(StrategyKind::Mwpsr { y: 1.0, z: 32 });
+    let (mw_alarm, mw_region) = mwpsr.server_minutes(&cost);
+    assert!(
+        prd_alarm > (mw_alarm + mw_region) * 2.0,
+        "PRD {prd_alarm} should dwarf MWPSR {}",
+        mw_alarm + mw_region
+    );
+}
+
+#[test]
+fn broadcast_pbsr_reduces_downlink_against_unicast() {
+    let h = harness();
+    let unicast = h.run(StrategyKind::Pbsr { height: 5 });
+    let broadcast = h.run(StrategyKind::PbsrBroadcast { height: 5 });
+    // Same client behaviour…
+    assert_eq!(unicast.metrics.uplink_messages, broadcast.metrics.uplink_messages);
+    // …and identical firings.
+    assert_eq!(unicast.metrics.triggers, broadcast.metrics.triggers);
+    // At tiny scale the per-epoch broadcast may dominate, so only sanity
+    // bounds are asserted here; the crossover is exercised in EXPERIMENTS.md.
+    assert!(broadcast.metrics.downlink_bits > 0);
+}
+
+#[test]
+fn weighted_variants_never_do_worse_than_non_weighted_by_much() {
+    let h = harness();
+    let non_weighted = h.run(StrategyKind::MwpsrNonWeighted).metrics.uplink_messages;
+    let weighted = h.run(StrategyKind::Mwpsr { y: 1.0, z: 32 }).metrics.uplink_messages;
+    // Figure 4(a): the weighted approach wins by a small margin; at tiny
+    // scale allow parity with a 10% tolerance.
+    assert!(
+        (weighted as f64) <= non_weighted as f64 * 1.10,
+        "weighted {weighted} vs non-weighted {non_weighted}"
+    );
+}
+
+#[test]
+fn grid_cell_size_trades_messages_for_region_work_like_figure_4() {
+    let h = harness();
+    let small = h.with_cell_area(0.25);
+    let large = h.with_cell_area(4.0);
+    let kind = StrategyKind::Mwpsr { y: 1.0, z: 32 };
+    let small_run = small.run(kind);
+    let large_run = large.run(kind);
+    small_run.assert_accurate();
+    large_run.assert_accurate();
+    // Larger cells → larger safe regions → fewer messages.
+    assert!(
+        large_run.metrics.uplink_messages < small_run.metrics.uplink_messages,
+        "large-cell {} vs small-cell {}",
+        large_run.metrics.uplink_messages,
+        small_run.metrics.uplink_messages
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let h = harness();
+    let a = h.run(StrategyKind::Pbsr { height: 4 });
+    let b = h.run(StrategyKind::Pbsr { height: 4 });
+    assert_eq!(a.metrics, b.metrics);
+    let mut fa = a.fired.clone();
+    let mut fb = b.fired.clone();
+    fa.sort_unstable();
+    fb.sort_unstable();
+    assert_eq!(fa, fb);
+}

@@ -1,0 +1,109 @@
+//! Integration tests pinning the paper's worked numbers and stated
+//! properties, exercised through the facade crate the way a downstream
+//! user would.
+
+use spatial_alarms::core::{MwpsrComputer, PyramidComputer, PyramidConfig, SafeRegion};
+use spatial_alarms::geometry::{MotionPdf, Point, Rect};
+
+/// The Figure 3 grid cell and alarm regions (see `sa-core` unit tests for
+/// the derivation of the layout).
+fn figure3() -> (Rect, Vec<Rect>) {
+    let cell = Rect::new(0.0, 0.0, 9.0, 9.0).unwrap();
+    let alarms = vec![
+        Rect::new(0.0, 6.5, 9.0, 9.0).unwrap(),
+        Rect::new(0.5, 3.5, 1.5, 5.0).unwrap(),
+        Rect::new(0.5, 1.0, 1.5, 2.0).unwrap(),
+        Rect::new(7.0, 1.0, 8.0, 2.0).unwrap(),
+    ];
+    (cell, alarms)
+}
+
+#[test]
+fn figure_3_worked_example_bit_counts() {
+    let (cell, alarms) = figure3();
+    // Figure 3(b): 3×3 GBSR = "0 000011010".
+    let gbsr3 = PyramidComputer::new(PyramidConfig::three_by_three(1)).compute(cell, &alarms);
+    assert_eq!(gbsr3.to_bitstring(), "0000011010");
+    // "the GBSR approach requires 82 bits […] to represent the safe region
+    // in Figure 3(c)"
+    let gbsr9 = PyramidComputer::new(PyramidConfig::gbsr(9, 9)).compute(cell, &alarms);
+    assert_eq!(gbsr9.bitmap_size(), 82);
+    // "the PBSR approach requires only 64 bits, 1 bit for the entire cell,
+    // 9 bits for the cells at level 1 and 54 bits for the cells at level 2"
+    let pbsr = PyramidComputer::new(PyramidConfig::three_by_three(2)).compute(cell, &alarms);
+    assert_eq!(pbsr.nominal_level_bits(), vec![9, 54]);
+    assert_eq!(pbsr.bitmap_size(), 64);
+}
+
+#[test]
+fn pbsr_is_strictly_better_than_gbsr_on_the_example() {
+    // The §4.2 headline: at comparable resolution the pyramid needs fewer
+    // bits than the flat grid while representing at least as much area.
+    let (cell, alarms) = figure3();
+    let gbsr9 = PyramidComputer::new(PyramidConfig::gbsr(9, 9)).compute(cell, &alarms);
+    let pbsr = PyramidComputer::new(PyramidConfig::three_by_three(2)).compute(cell, &alarms);
+    assert!(pbsr.bitmap_size() < gbsr9.bitmap_size());
+    assert!((pbsr.coverage() - gbsr9.coverage()).abs() < 1e-12);
+}
+
+#[test]
+fn motion_pdf_matches_figure_1b_properties() {
+    // §3: "the probability of the client moving in a direction such that
+    // 0 ≤ φ ≤ π/z is the same; for values of φ > π/z, this probability
+    // decreases", and y/z weights the current direction.
+    use std::f64::consts::PI;
+    for z in [2u32, 4, 8] {
+        let pdf = MotionPdf::new(1.0, z).unwrap();
+        let first_band = pdf.density(0.0);
+        assert_eq!(pdf.density(PI / z as f64 * 0.99), first_band);
+        assert!(pdf.density(PI / z as f64 * 1.01) < first_band);
+        assert!(pdf.density(0.0) > pdf.density(PI));
+        assert!((pdf.mass(-PI, PI) - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn safe_region_definition_holds() {
+    // §2.1 definition: "As long as the user's position lies within its safe
+    // region, the probability of the user entering any of its relevant
+    // spatial alarm regions is zero."
+    let cell = Rect::new(0.0, 0.0, 1_000.0, 1_000.0).unwrap();
+    let alarms =
+        vec![Rect::new(300.0, 300.0, 450.0, 450.0).unwrap(), Rect::new(700.0, 100.0, 900.0, 250.0).unwrap()];
+    let user = Point::new(100.0, 700.0);
+    let region = MwpsrComputer::new(MotionPdf::new(1.0, 32).unwrap())
+        .compute(user, 0.0, cell, &alarms);
+    // Dense sampling of the region: no sampled point is strictly inside an
+    // alarm region.
+    let r = region.rect();
+    for i in 0..=50 {
+        for j in 0..=50 {
+            let p = Point::new(
+                r.min_x() + r.width() * i as f64 / 50.0,
+                r.min_y() + r.height() * j as f64 / 50.0,
+            );
+            assert!(region.contains(p));
+            for a in &alarms {
+                assert!(!a.contains_point_strict(p), "{p} is inside alarm {a}");
+            }
+        }
+    }
+}
+
+#[test]
+fn heterogeneity_knob_trades_bits_for_coverage() {
+    // §4: taller pyramids → more coverage, bigger bitmaps, costlier checks.
+    let (cell, alarms) = figure3();
+    let mut prev_cov = -1.0;
+    let mut prev_bits = 0usize;
+    let mut prev_ops = 0usize;
+    for h in 1..=5 {
+        let region = PyramidComputer::new(PyramidConfig::three_by_three(h)).compute(cell, &alarms);
+        assert!(region.coverage() >= prev_cov - 1e-12);
+        assert!(region.bitmap_size() > prev_bits);
+        assert!(region.worst_case_check_ops() > prev_ops);
+        prev_cov = region.coverage();
+        prev_bits = region.bitmap_size();
+        prev_ops = region.worst_case_check_ops();
+    }
+}

@@ -1,0 +1,44 @@
+//! Opt-in stress tests at larger scales. Ignored by default — run with
+//! `cargo test --release --test stress -- --ignored` (a few minutes).
+
+use spatial_alarms::sim::{SimulationConfig, SimulationHarness, StrategyKind};
+
+/// A tenth of the paper's fleet (1,000 vehicles) against the full
+/// 10,000-alarm workload for a full simulated hour: every strategy must
+/// stay 100% accurate.
+#[test]
+#[ignore = "multi-minute stress run; execute with --ignored in release mode"]
+fn tenth_scale_full_hour_accuracy() {
+    let config = SimulationConfig::scaled(0.1);
+    let harness = SimulationHarness::build(&config);
+    assert!(harness.ground_truth().len() > 1_000, "expected a busy world");
+    for kind in [
+        StrategyKind::SafePeriod,
+        StrategyKind::Mwpsr { y: 1.0, z: 32 },
+        StrategyKind::Pbsr { height: 5 },
+        StrategyKind::PbsrBroadcast { height: 5 },
+        StrategyKind::Optimal,
+    ] {
+        let report = harness.run(kind);
+        report.assert_accurate();
+        // The headline scalability property at scale: safe regions and OPT
+        // transmit a small fraction of the 3.6 M samples.
+        if !matches!(kind, StrategyKind::SafePeriod) {
+            let fraction =
+                report.metrics.uplink_messages as f64 / harness.total_samples() as f64;
+            assert!(fraction < 0.10, "{}: {:.1}%", kind.label(), fraction * 100.0);
+        }
+    }
+}
+
+/// Moving-target coordination at a heavier load: 50 moving alarms chasing
+/// vehicles through the full hour.
+#[test]
+#[ignore = "multi-minute stress run; execute with --ignored in release mode"]
+fn moving_targets_at_scale() {
+    let mut config = SimulationConfig::scaled(0.05);
+    config.moving_alarms = 50;
+    let harness = SimulationHarness::build(&config);
+    let report = harness.run(StrategyKind::Mwpsr { y: 1.0, z: 32 });
+    report.assert_accurate();
+}
