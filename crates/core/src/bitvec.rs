@@ -132,7 +132,7 @@ impl BitVec {
                 cur = 0;
             }
         }
-        if self.len % 8 != 0 {
+        if !self.len.is_multiple_of(8) {
             buf.put_u8(cur);
         }
         buf.freeze()
@@ -141,6 +141,31 @@ impl BitVec {
     /// Renders the bits as a `0`/`1` string (for tests and examples).
     pub fn to_bitstring(&self) -> String {
         self.iter().map(|b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Deserializes the MSB-first octet form produced by
+    /// [`BitVec::to_bytes`], keeping the first `len` bits and ignoring the
+    /// zero padding of the final partial octet.
+    ///
+    /// ```
+    /// use sa_core::BitVec;
+    /// let bits: BitVec = [true, false, true, true, false].into_iter().collect();
+    /// let round = BitVec::from_bytes(&bits.to_bytes(), bits.len()).unwrap();
+    /// assert_eq!(round, bits);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `bytes` is shorter than `len` bits requires.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Option<BitVec> {
+        if bytes.len() < len.div_ceil(8) {
+            return None;
+        }
+        let mut bits = BitVec::with_capacity(len);
+        for i in 0..len {
+            bits.push((bytes[i / 8] >> (7 - (i % 8))) & 1 == 1);
+        }
+        Some(bits)
     }
 }
 

@@ -383,6 +383,119 @@ impl BitmapSafeRegion {
         s
     }
 
+    /// The full bitmap in the paper's nominal wire layout (root bit, then
+    /// level blocks, phantom zero blocks under solid cells reconstructed) as
+    /// a [`BitVec`] of exactly [`BitmapSafeRegion::bitmap_size`] bits — the
+    /// payload a live server ships over a real transport.
+    pub fn to_wire_bits(&self) -> BitVec {
+        let mut bits = BitVec::with_capacity(self.bitmap_size());
+        bits.push(self.root_free);
+        #[derive(Clone, Copy)]
+        enum ParentKind {
+            Split,
+            Dark,
+        }
+        let fanout = self.config.fanout();
+        let mut parents = if self.root_free { vec![] } else { vec![ParentKind::Split] };
+        for level in &self.levels {
+            let mut next_parents = Vec::new();
+            let mut bit = 0usize;
+            for parent in &parents {
+                match parent {
+                    ParentKind::Split => {
+                        for _ in 0..fanout {
+                            let free = level.bits.get(bit).expect("bit in range");
+                            bits.push(free);
+                            if !free {
+                                let zrank = level.bits.rank_zeros(bit);
+                                let splits =
+                                    level.split.get(zrank).expect("one split flag per zero");
+                                next_parents
+                                    .push(if splits { ParentKind::Split } else { ParentKind::Dark });
+                            }
+                            bit += 1;
+                        }
+                    }
+                    ParentKind::Dark => {
+                        for _ in 0..fanout {
+                            bits.push(false);
+                            next_parents.push(ParentKind::Dark);
+                        }
+                    }
+                }
+            }
+            parents = next_parents;
+        }
+        bits
+    }
+
+    /// Reconstructs a region from the nominal wire bits produced by
+    /// [`BitmapSafeRegion::to_wire_bits`] for the given cell and
+    /// configuration.
+    ///
+    /// The wire layout does not distinguish solid (all-descendants-dark)
+    /// cells from blocked cells whose children were all individually
+    /// blocked, so the reconstruction materializes every zero's child block
+    /// down to the deepest level. The result is observationally identical
+    /// to the encoder's region — same containment verdicts, same
+    /// [`BitmapSafeRegion::bitmap_size`], same decoded geometry, same
+    /// bitstring — but may hold a denser in-memory representation than the
+    /// sparse original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation when `bits` is not a
+    /// well-formed encoding for `config` (wrong length for the pyramid
+    /// structure it describes).
+    pub fn from_wire_bits(
+        cell: Rect,
+        config: PyramidConfig,
+        bits: &BitVec,
+    ) -> Result<BitmapSafeRegion, String> {
+        config.validate();
+        let root_free = bits.get(0).ok_or_else(|| "empty bitmap".to_string())?;
+        if root_free {
+            if bits.len() != 1 {
+                return Err(format!("free-cell bitmap must be 1 bit, got {}", bits.len()));
+            }
+            return Ok(BitmapSafeRegion { cell, config, root_free: true, levels: Vec::new() });
+        }
+        let fanout = config.fanout();
+        let mut pos = 1usize;
+        let mut prev_zeros = 1usize;
+        let mut levels = Vec::with_capacity(config.height as usize);
+        for depth in 0..config.height {
+            let expect = prev_zeros * fanout;
+            let mut level_bits = BitVec::with_capacity(expect);
+            let mut zeros = 0usize;
+            for _ in 0..expect {
+                let b = bits
+                    .get(pos)
+                    .ok_or_else(|| format!("bitmap truncated at bit {pos}"))?;
+                if !b {
+                    zeros += 1;
+                }
+                level_bits.push(b);
+                pos += 1;
+            }
+            let is_last = depth + 1 == config.height;
+            let mut split = BitVec::with_capacity(zeros);
+            for _ in 0..zeros {
+                split.push(!is_last);
+            }
+            levels.push(Level {
+                bits: level_bits.into_ranked(),
+                split: split.into_ranked(),
+                phantom_zeros: 0,
+            });
+            prev_zeros = zeros;
+        }
+        if pos != bits.len() {
+            return Err(format!("bitmap has {} trailing bits", bits.len() - pos));
+        }
+        Ok(BitmapSafeRegion { cell, config, root_free: false, levels })
+    }
+
     /// Containment check with pyramid descent: at most `height` levels are
     /// examined (the client's "predefined worst-case number of
     /// computations"). Returns the number of levels descended alongside the
@@ -706,5 +819,59 @@ mod tests {
     #[should_panic(expected = "height must be at least 1")]
     fn rejects_zero_height() {
         PyramidComputer::new(PyramidConfig { split_u: 3, split_v: 3, height: 0 });
+    }
+
+    #[test]
+    fn wire_bits_match_bitstring_and_round_trip() {
+        let (cell, alarms) = figure3_scenario();
+        for h in 1..=4 {
+            let config = PyramidConfig::three_by_three(h);
+            let region = PyramidComputer::new(config).compute(cell, &alarms);
+            let wire = region.to_wire_bits();
+            assert_eq!(wire.len(), region.bitmap_size(), "h={h}");
+            assert_eq!(wire.to_bitstring(), region.to_bitstring(), "h={h}");
+            let back = BitmapSafeRegion::from_wire_bits(cell, config, &wire).unwrap();
+            assert_eq!(back.bitmap_size(), region.bitmap_size());
+            assert_eq!(back.to_bitstring(), region.to_bitstring());
+            for i in 0..30 {
+                for j in 0..30 {
+                    let p = Point::new(0.12 + i as f64 * 0.3, 0.14 + j as f64 * 0.3);
+                    assert_eq!(region.contains(p), back.contains(p), "h={h} at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_solid_subtrees_observably() {
+        // The solid fast path makes the encoder sparse; the decoder
+        // materializes those subtrees but must not change any verdict.
+        let cell = r(0.0, 0.0, 9.0, 9.0);
+        let alarms = vec![r(-1.0, -1.0, 6.0, 6.0), r(7.0, 7.0, 8.5, 8.8)];
+        let config = PyramidConfig::three_by_three(3);
+        let region = PyramidComputer::new(config).compute(cell, &alarms);
+        let back = BitmapSafeRegion::from_wire_bits(cell, config, &region.to_wire_bits()).unwrap();
+        assert!((back.coverage() - region.coverage()).abs() < 1e-12);
+        assert_eq!(back.decode().area(), region.decode().area());
+        assert!(back.materialized_bits() >= region.materialized_bits());
+    }
+
+    #[test]
+    fn malformed_wire_bits_are_rejected() {
+        let cell = r(0.0, 0.0, 9.0, 9.0);
+        let config = PyramidConfig::three_by_three(2);
+        assert!(BitmapSafeRegion::from_wire_bits(cell, config, &BitVec::new()).is_err());
+        // A free root with trailing bits is malformed.
+        let mut bits = BitVec::new();
+        bits.push(true);
+        bits.push(false);
+        assert!(BitmapSafeRegion::from_wire_bits(cell, config, &bits).is_err());
+        // A blocked root with too few level bits is truncated.
+        let mut bits = BitVec::new();
+        bits.push(false);
+        for _ in 0..5 {
+            bits.push(true);
+        }
+        assert!(BitmapSafeRegion::from_wire_bits(cell, config, &bits).is_err());
     }
 }

@@ -102,9 +102,9 @@ pub fn generate_network(config: &NetworkConfig) -> RoadNetwork {
 
     let id = |col: u32, row: u32| row * n + col;
     let line_class = |index: u32| {
-        if index % config.highway_period == 0 {
+        if index.is_multiple_of(config.highway_period) {
             RoadClass::Highway
-        } else if index % config.arterial_period == 0 {
+        } else if index.is_multiple_of(config.arterial_period) {
             RoadClass::Arterial
         } else {
             RoadClass::Local

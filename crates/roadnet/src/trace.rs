@@ -237,7 +237,7 @@ impl TraceLog {
         if vehicles == 0 {
             return Ok(TraceLog::default());
         }
-        if samples.len() % vehicles as usize != 0 {
+        if !samples.len().is_multiple_of(vehicles as usize) {
             return Err(TraceError::Parse {
                 line: 0,
                 reason: "sample count is not a multiple of the vehicle count".into(),

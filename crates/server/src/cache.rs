@@ -1,0 +1,173 @@
+//! Epoch-versioned cache of per-cell *public* pyramid bitmaps — the live
+//! counterpart of the paper's §4.2 precomputation ("the safe region
+//! computation for public alarms can be performed offline and shared by
+//! all users in the cell").
+//!
+//! Entries are keyed by `(cell index, pyramid height)` and stamped with
+//! the cell's **alarm-set epoch**, a counter bumped whenever an alarm
+//! intersecting the cell is installed or removed. A lookup only hits when
+//! the stamped epoch equals the cell's current epoch, so mutations
+//! invalidate exactly the affected cells without any global flush.
+//!
+//! Cached bitmaps are computed from *all* public alarms in the cell,
+//! ignoring per-user fired state. For a user none of whose public alarms
+//! in the cell have fired this is exactly the fresh computation; the
+//! server falls back to a per-user computation otherwise (a fired alarm
+//! should rejoin the safe region — serving the cached bitmap instead
+//! would be conservative but chatty).
+
+use parking_lot::RwLock;
+use sa_core::BitmapSafeRegion;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss/invalidation counters, readable at any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a current-epoch entry.
+    pub hits: u64,
+    /// Lookups that found no entry (or only a stale one).
+    pub misses: u64,
+    /// Entries dropped because their cell's epoch moved.
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    epoch: u64,
+    region: BitmapSafeRegion,
+}
+
+/// The shared public-bitmap cache (see the module docs).
+#[derive(Debug, Default)]
+pub struct RegionCache {
+    /// Cell index → alarm-set epoch; absent means epoch 0.
+    epochs: RwLock<HashMap<u64, u64>>,
+    /// (cell index, pyramid height) → stamped entry.
+    entries: RwLock<HashMap<(u64, u32), Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl RegionCache {
+    /// An empty cache with every cell at epoch 0.
+    pub fn new() -> RegionCache {
+        RegionCache::default()
+    }
+
+    /// The current alarm-set epoch of `cell`.
+    pub fn epoch(&self, cell: u64) -> u64 {
+        self.epochs.read().get(&cell).copied().unwrap_or(0)
+    }
+
+    /// Bumps `cell`'s epoch (an alarm intersecting it was installed or
+    /// removed) and drops the cell's now-stale entries.
+    pub fn bump_epoch(&self, cell: u64) {
+        *self.epochs.write().entry(cell).or_insert(0) += 1;
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|(c, _), _| *c != cell);
+        let dropped = (before - entries.len()) as u64;
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// The cached public bitmap for `(cell, height)` if it is stamped with
+    /// the cell's current epoch.
+    pub fn lookup(&self, cell: u64, height: u32) -> Option<BitmapSafeRegion> {
+        let current = self.epoch(cell);
+        let entries = self.entries.read();
+        match entries.get(&(cell, height)) {
+            Some(entry) if entry.epoch == current => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.region.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a bitmap computed while the cell was at `epoch`. Stale
+    /// inserts (the epoch moved during the computation) are stored but can
+    /// never hit, so a racing install keeps correctness without any
+    /// compute-side locking.
+    pub fn insert(&self, cell: u64, height: u32, epoch: u64, region: BitmapSafeRegion) {
+        self.entries.write().insert((cell, height), Entry { epoch, region });
+    }
+
+    /// Number of live entries (stale or not).
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::{PyramidComputer, PyramidConfig};
+    use sa_geometry::Rect;
+
+    fn region(height: u32) -> BitmapSafeRegion {
+        let cell = Rect::new(0.0, 0.0, 9.0, 9.0).unwrap();
+        let alarm = Rect::new(1.0, 1.0, 2.0, 2.0).unwrap();
+        PyramidComputer::new(PyramidConfig::three_by_three(height)).compute(cell, &[alarm])
+    }
+
+    #[test]
+    fn lookup_hits_only_at_matching_epoch() {
+        let cache = RegionCache::new();
+        assert!(cache.lookup(3, 2).is_none());
+        cache.insert(3, 2, cache.epoch(3), region(2));
+        assert!(cache.lookup(3, 2).is_some());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, invalidations: 0 });
+    }
+
+    #[test]
+    fn bump_invalidates_exactly_that_cell() {
+        let cache = RegionCache::new();
+        cache.insert(1, 2, 0, region(2));
+        cache.insert(1, 3, 0, region(3));
+        cache.insert(2, 2, 0, region(2));
+        cache.bump_epoch(1);
+        assert!(cache.lookup(1, 2).is_none(), "cell 1 height 2 must be invalidated");
+        assert!(cache.lookup(1, 3).is_none(), "cell 1 height 3 must be invalidated");
+        assert!(cache.lookup(2, 2).is_some(), "cell 2 must survive");
+        assert_eq!(cache.stats().invalidations, 2);
+        assert_eq!(cache.epoch(1), 1);
+        assert_eq!(cache.epoch(2), 0);
+    }
+
+    #[test]
+    fn stale_insert_can_never_hit() {
+        let cache = RegionCache::new();
+        let epoch_at_compute_start = cache.epoch(5);
+        // An install lands while the bitmap is being computed…
+        cache.bump_epoch(5);
+        // …so the stamped insert is already stale and must miss.
+        cache.insert(5, 2, epoch_at_compute_start, region(2));
+        assert!(cache.lookup(5, 2).is_none());
+        // Re-computing at the current epoch hits again.
+        cache.insert(5, 2, cache.epoch(5), region(2));
+        assert!(cache.lookup(5, 2).is_some());
+        assert!(!cache.is_empty());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Client-side strategy mirrors.
+//!
+//! Each [`Client`] owns one transport connection and reproduces the
+//! client half of a `sa-sim` strategy over the wire protocol:
+//!
+//! * **MWPSR** — silent while inside the installed rectangle, uplink on
+//!   exit, install the rectangle the server answers with.
+//! * **PBSR** — silent while the pyramid bitmap grants the position,
+//!   uplink on a blocked subcell or base-cell exit; a bare `Ack` means
+//!   the current bitmap is still the right one (§4.2 quick update).
+//! * **OPT** — uplink only on base-cell change; between uplinks the
+//!   client checks its pushed alarm set locally and notifies the server
+//!   of client-detected firings.
+//! * **Safe period** — silent until the granted period expires.
+//!
+//! Every alarm firing observed by the client — delivered by the server
+//! or detected locally — is recorded as a [`FiredEvent`] with the step
+//! it happened at, so a replay can be diffed against the simulator's
+//! ground truth.
+
+use crate::transport::{Transport, TransportError};
+use crate::wire::{
+    dequantize_m, pack_motion, quantize_m, PushedAlarm, Request, Response, StrategySpec,
+};
+use sa_alarms::{AlarmId, SubscriberId};
+use sa_core::{BitmapSafeRegion, PyramidConfig, SafeRegion as _};
+use sa_geometry::{CellId, Grid, Point, Rect};
+use sa_sim::FiredEvent;
+
+/// How many times an `Overloaded` bounce is retried before giving up.
+const MAX_OVERLOAD_RETRIES: u32 = 10_000;
+
+/// Per-client message counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Location-update uplinks that were accepted (retries not counted).
+    pub uplinks: u64,
+    /// Client-detected firings notified to the server (OPT only).
+    pub notifies: u64,
+    /// Safe-region installs received (rectangle or bitmap).
+    pub region_installs: u64,
+    /// Alarm-set pushes received (OPT only).
+    pub alarm_pushes: u64,
+    /// Safe-period grants received.
+    pub grants: u64,
+    /// Trigger deliveries received from the server.
+    pub deliveries: u64,
+    /// Firings the client detected locally (OPT only).
+    pub client_fires: u64,
+    /// `Overloaded` bounces that were retried.
+    pub overload_retries: u64,
+    /// Encoded request bytes sent.
+    pub bytes_up: u64,
+    /// Encoded response bytes received.
+    pub bytes_down: u64,
+}
+
+/// An alarm the server pushed for local monitoring (OPT).
+#[derive(Debug, Clone, Copy)]
+struct LocalAlarm {
+    id: AlarmId,
+    relevant: bool,
+    rect: Rect,
+}
+
+#[derive(Debug)]
+enum State {
+    Rect { region: Option<Rect> },
+    Bitmap { region: Option<BitmapSafeRegion> },
+    Opt { last_cell: Option<CellId>, alarms: Vec<LocalAlarm> },
+    SafePeriod { until: u32 },
+}
+
+/// One simulated mobile client bound to a strategy and a transport.
+pub struct Client<T: Transport> {
+    transport: T,
+    user: SubscriberId,
+    strategy: StrategySpec,
+    grid: Grid,
+    /// Simulation step length in seconds (converts safe periods to
+    /// silent steps exactly like the simulator).
+    dt: f64,
+    state: State,
+    seq: u32,
+    fired: Vec<FiredEvent>,
+    stats: ClientStats,
+}
+
+impl<T: Transport> Client<T> {
+    /// Performs the `Hello` handshake and returns a ready client.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handshake cannot be exchanged or is rejected.
+    pub fn connect(
+        mut transport: T,
+        user: SubscriberId,
+        strategy: StrategySpec,
+        grid: Grid,
+        dt: f64,
+    ) -> Result<Client<T>, TransportError> {
+        assert!(dt > 0.0, "sample period must be positive");
+        let hello = Request::Hello { seq: 0, user: user.0, strategy };
+        let mut stats = ClientStats::default();
+        stats.bytes_up += hello.encoded_len() as u64;
+        let resps = transport.request(hello)?;
+        stats.bytes_down += resps.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        if !matches!(resps.as_slice(), [Response::Ack { .. }]) {
+            return Err(TransportError::Protocol("hello was not acknowledged"));
+        }
+        let state = match strategy {
+            StrategySpec::Mwpsr => State::Rect { region: None },
+            StrategySpec::Pbsr { .. } => State::Bitmap { region: None },
+            StrategySpec::Opt => State::Opt { last_cell: None, alarms: Vec::new() },
+            StrategySpec::SafePeriod => State::SafePeriod { until: 0 },
+        };
+        Ok(Client { transport, user, strategy, grid, dt, state, seq: 0, fired: Vec::new(), stats })
+    }
+
+    /// The subscriber this client simulates.
+    pub fn user(&self) -> SubscriberId {
+        self.user
+    }
+
+    /// The strategy this client runs.
+    pub fn strategy(&self) -> StrategySpec {
+        self.strategy
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Every firing observed so far, in observation order.
+    pub fn fired(&self) -> &[FiredEvent] {
+        &self.fired
+    }
+
+    /// Drains the recorded firings.
+    pub fn take_fired(&mut self) -> Vec<FiredEvent> {
+        std::mem::take(&mut self.fired)
+    }
+
+    /// Feeds one position sample; exchanges messages with the server
+    /// exactly when the strategy requires it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport breaks or the server answers outside the
+    /// protocol.
+    pub fn observe(
+        &mut self,
+        step: u32,
+        pos: Point,
+        heading: f64,
+        speed: f64,
+    ) -> Result<(), TransportError> {
+        let cell = self.grid.cell_of(pos);
+        let uplink_needed = match &self.state {
+            State::Rect { region } => !region.is_some_and(|r| r.contains_point(pos)),
+            State::Bitmap { region } => !region.as_ref().is_some_and(|r| r.contains(pos)),
+            State::Opt { last_cell, .. } => *last_cell != Some(cell),
+            State::SafePeriod { until } => step >= *until,
+        };
+
+        if !uplink_needed {
+            // OPT monitors its pushed set locally between cell changes.
+            let locally_fired = match &mut self.state {
+                State::Opt { alarms, .. } => {
+                    let mut hits = Vec::new();
+                    alarms.retain(|a| {
+                        if a.rect.contains_point_strict(pos) {
+                            // A spatially satisfied alarm leaves the set
+                            // whether or not it concerns this user.
+                            if a.relevant {
+                                hits.push(a.id);
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    hits
+                }
+                _ => Vec::new(),
+            };
+            for id in locally_fired {
+                self.fired.push(FiredEvent { subscriber: self.user, alarm: id, step });
+                self.stats.client_fires += 1;
+                let seq = self.next_seq();
+                let resps = self.exchange(Request::TriggerNotify { seq, alarm: id.0 as u32 })?;
+                if !matches!(resps.as_slice(), [Response::Ack { .. }]) {
+                    return Err(TransportError::Protocol("trigger notify was not acknowledged"));
+                }
+                self.stats.notifies += 1;
+            }
+            return Ok(());
+        }
+
+        let seq = self.next_seq();
+        let req = Request::LocationUpdate {
+            seq,
+            x_fx: quantize_m(pos.x),
+            y_fx: quantize_m(pos.y),
+            motion: pack_motion(heading, speed),
+        };
+        let resps = self.exchange_with_retry(req)?;
+        self.stats.uplinks += 1;
+        for resp in resps {
+            self.absorb(resp, step, cell)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one response to the client state.
+    fn absorb(&mut self, resp: Response, step: u32, cell: CellId) -> Result<(), TransportError> {
+        match resp {
+            Response::TriggerDelivery { alarm, .. } => {
+                self.fired.push(FiredEvent {
+                    subscriber: self.user,
+                    alarm: AlarmId(alarm as u64),
+                    step,
+                });
+                self.stats.deliveries += 1;
+            }
+            Response::RectInstall { rect, .. } => {
+                let region = Rect::new(
+                    dequantize_m(rect[0]),
+                    dequantize_m(rect[1]),
+                    dequantize_m(rect[2]),
+                    dequantize_m(rect[3]),
+                )
+                .map_err(|_| TransportError::Protocol("degenerate safe-region rectangle"))?;
+                self.state = State::Rect { region: Some(region) };
+                self.stats.region_installs += 1;
+            }
+            Response::BitmapInstall { cell: cell_word, bits, .. } => {
+                let StrategySpec::Pbsr { height } = self.strategy else {
+                    return Err(TransportError::Protocol("bitmap install for a non-PBSR client"));
+                };
+                let cell_rect = self.grid.cell_rect(self.cell_from_index(cell_word)?);
+                let region = BitmapSafeRegion::from_wire_bits(
+                    cell_rect,
+                    PyramidConfig::three_by_three(height),
+                    &bits,
+                )
+                .map_err(|_| TransportError::Protocol("malformed bitmap install"))?;
+                self.state = State::Bitmap { region: Some(region) };
+                self.stats.region_installs += 1;
+            }
+            Response::AlarmPush { alarms, .. } => {
+                let set = alarms
+                    .iter()
+                    .map(|a: &PushedAlarm| {
+                        Rect::new(
+                            dequantize_m(a.rect[0]),
+                            dequantize_m(a.rect[1]),
+                            dequantize_m(a.rect[2]),
+                            dequantize_m(a.rect[3]),
+                        )
+                        .map(|rect| LocalAlarm {
+                            id: AlarmId(a.alarm as u64),
+                            relevant: a.relevant,
+                            rect,
+                        })
+                        .map_err(|_| TransportError::Protocol("degenerate pushed alarm"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.state = State::Opt { last_cell: Some(cell), alarms: set };
+                self.stats.alarm_pushes += 1;
+            }
+            Response::SafePeriodGrant { period_ms } => {
+                // Mirror the simulator: silent for floor(period / dt)
+                // steps, at least one.
+                let silent_steps = ((f64::from(period_ms) / 1_000.0) / self.dt).floor() as u32;
+                self.state = State::SafePeriod { until: step + silent_steps.max(1) };
+                self.stats.grants += 1;
+            }
+            Response::Ack { .. } => {
+                // PBSR quick-update path: the installed bitmap stands.
+            }
+            Response::Overloaded { .. } => {
+                return Err(TransportError::Protocol("overload leaked past the retry loop"));
+            }
+            Response::Error { .. } => {
+                return Err(TransportError::Protocol("server rejected a location update"));
+            }
+        }
+        Ok(())
+    }
+
+    fn cell_from_index(&self, index: u32) -> Result<CellId, TransportError> {
+        let cols = self.grid.cols();
+        let cell = CellId { col: index % cols, row: index / cols };
+        if cell.row >= self.grid.rows() {
+            return Err(TransportError::Protocol("cell index outside the grid"));
+        }
+        Ok(cell)
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq = (self.seq + 1) & crate::wire::SEQ_MASK;
+        self.seq
+    }
+
+    /// One request/response exchange with byte accounting.
+    fn exchange(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
+        self.stats.bytes_up += req.encoded_len() as u64;
+        let resps = self.transport.request(req)?;
+        self.stats.bytes_down += resps.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        Ok(resps)
+    }
+
+    /// Exchange that retries `Overloaded` bounces, yielding between
+    /// attempts so the shard worker can drain its queue.
+    fn exchange_with_retry(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
+        for _ in 0..MAX_OVERLOAD_RETRIES {
+            let resps = self.exchange(req.clone())?;
+            if matches!(resps.last(), Some(Response::Overloaded { .. })) {
+                self.stats.overload_retries += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            return Ok(resps);
+        }
+        Err(TransportError::Protocol("server stayed overloaded"))
+    }
+}

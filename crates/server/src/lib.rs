@@ -1,0 +1,39 @@
+//! sa-server: a concurrent, grid-sharded safe-region service runtime.
+//!
+//! Where `sa-sim` *models* the client–server message exchange of
+//! Bamba et al.'s safe-region strategies with abstract bit accounting,
+//! this crate *runs* it: a real binary wire protocol ([`wire`]), a
+//! server whose alarm state is sharded across worker threads by grid
+//! cell ([`server`], [`shard`]), an epoch-versioned cache of public
+//! safe-region bitmaps ([`cache`]), two interchangeable transports —
+//! in-process and loopback TCP ([`transport`]) — and client-side
+//! strategy mirrors plus a trace replay driver that cross-checks every
+//! firing against the simulator's ground truth ([`client`], [`replay`]).
+//!
+//! The layering, bottom-up:
+//!
+//! ```text
+//! replay  ── drives clients over a sa-roadnet trace, verifies vs GroundTruth
+//! client  ── per-strategy mirrors (MWPSR / PBSR / OPT / safe-period)
+//! transport ─ InProc | Tcp, both framing through the wire codec
+//! server  ── router + sessions; LocationUpdate → bounded shard queues
+//! shard   ── ShardIndex (global↔local alarm ids) + ShardPool workers
+//! cache   ── (cell, height) → public bitmap, epoch-invalidated
+//! wire    ── Request/Response codec, sizes == sa-sim payload constants
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod replay;
+pub mod server;
+pub mod shard;
+pub mod transport;
+pub mod wire;
+
+pub use cache::{CacheStats, RegionCache};
+pub use client::{Client, ClientStats};
+pub use replay::{replay, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome};
+pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
+pub use shard::{shard_of_index, ShardIndex, ShardPool};
+pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport};
+pub use wire::{Request, Response, StrategySpec, WireError};

@@ -1,0 +1,241 @@
+//! Trace replay through the live server.
+//!
+//! Rebuilds the simulator's world (road network, fleet, alarms), starts
+//! a [`Server`] over it, connects one [`Client`] per vehicle through a
+//! caller-chosen transport, and streams the deterministic `sa-roadnet`
+//! trace through the live stack. Every firing observed by any client is
+//! collected and diffed against the simulator's [`GroundTruth`] — the
+//! live runtime must reproduce the paper's 100%-accuracy requirement,
+//! end to end through real message encoding and real threads.
+//!
+//! Only static alarms are replayed (the wire protocol carries no
+//! moving-target coordination); build the harness with
+//! `config.moving_alarms == 0`.
+
+use crate::client::{Client, ClientStats};
+use crate::server::{Server, ServerConfig, ServerStats};
+use crate::transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};
+use crate::wire::StrategySpec;
+use crate::CacheStats;
+use sa_alarms::SubscriberId;
+use sa_roadnet::Fleet;
+use sa_sim::{FiredEvent, GroundTruth, SimulationHarness};
+use std::sync::Arc;
+
+/// What to replay and through what server shape.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Steps to replay; `None` replays the harness's full trace.
+    pub steps: Option<u32>,
+    /// Server sizing.
+    pub server: ServerConfig,
+    /// Strategies assigned to vehicles round-robin.
+    pub strategies: Vec<StrategySpec>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            steps: None,
+            server: ServerConfig::default(),
+            strategies: vec![
+                StrategySpec::Mwpsr,
+                StrategySpec::Pbsr { height: 5 },
+                StrategySpec::Opt,
+                StrategySpec::SafePeriod,
+            ],
+        }
+    }
+}
+
+/// The result of one replay.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Every firing observed by any client, unsorted.
+    pub fired: Vec<FiredEvent>,
+    /// Diff against the ground truth restricted to the replayed steps;
+    /// `Err` describes the first discrepancy.
+    pub verification: Result<(), String>,
+    /// Per-client `(subscriber, strategy, counters)`.
+    pub clients: Vec<(SubscriberId, StrategySpec, ClientStats)>,
+    /// Server counters.
+    pub server: ServerStats,
+    /// Safe-region cache counters.
+    pub cache: CacheStats,
+    /// Steps actually replayed.
+    pub steps: u32,
+}
+
+impl ReplayOutcome {
+    /// Panics with the discrepancy when the replay missed, mistimed or
+    /// spuriously fired an alarm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `verification` is an error.
+    pub fn assert_accurate(&self) {
+        if let Err(e) = &self.verification {
+            panic!("live replay violated the 100% accuracy requirement: {e}");
+        }
+    }
+}
+
+/// Replays `harness`'s trace through a fresh server, connecting each
+/// client with `connect`. Generic over the transport so the in-proc and
+/// TCP paths share one driver.
+///
+/// # Errors
+///
+/// Fails when any client's transport breaks mid-replay.
+///
+/// # Panics
+///
+/// Panics when the harness was built with moving-target alarms.
+pub fn replay<T, F>(
+    harness: &SimulationHarness,
+    cfg: &ReplayConfig,
+    mut connect: F,
+) -> Result<ReplayOutcome, TransportError>
+where
+    T: Transport,
+    F: FnMut(&Arc<Server>) -> Result<T, TransportError>,
+{
+    assert!(
+        harness.moving_alarms().is_none(),
+        "the live wire protocol carries static alarms only"
+    );
+    assert!(!cfg.strategies.is_empty(), "need at least one strategy to assign");
+
+    let config = harness.config();
+    let dt = config.sample_period_s;
+    let steps = cfg.steps.unwrap_or(config.steps() as u32).min(config.steps() as u32);
+
+    let server = Server::start(
+        harness.grid().clone(),
+        harness.index().alarms().to_vec(),
+        harness.v_max(),
+        cfg.server,
+    );
+
+    let mut clients: Vec<Client<T>> = (0..config.fleet.vehicles as u32)
+        .map(|v| {
+            let strategy = cfg.strategies[v as usize % cfg.strategies.len()];
+            let transport = connect(&server)?;
+            Client::connect(transport, SubscriberId(v), strategy, harness.grid().clone(), dt)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut fleet = Fleet::new(harness.network(), &config.fleet);
+    let mut samples = Vec::new();
+    for step in 0..steps {
+        fleet.step_into(dt, &mut samples);
+        for s in &samples {
+            clients[s.vehicle.0 as usize].observe(step, s.pos, s.heading, s.speed)?;
+        }
+    }
+
+    let mut fired = Vec::new();
+    let mut per_client = Vec::new();
+    for client in &mut clients {
+        per_client.push((client.user(), client.strategy(), client.stats()));
+        fired.extend(client.take_fired());
+    }
+
+    // A firing at step s depends only on samples up to s, so the ground
+    // truth restricted to the replayed prefix is exact.
+    let expected: Vec<FiredEvent> = harness
+        .ground_truth()
+        .events()
+        .iter()
+        .filter(|e| e.step < steps)
+        .cloned()
+        .collect();
+    let verification = GroundTruth::new(expected).verify(&fired);
+
+    let outcome = ReplayOutcome {
+        fired,
+        verification,
+        clients: per_client,
+        server: server.stats(),
+        cache: server.cache_stats(),
+        steps,
+    };
+    server.shutdown();
+    Ok(outcome)
+}
+
+/// [`replay`] over the in-process transport.
+///
+/// # Errors
+///
+/// Fails when a client exchange breaks (see [`replay`]).
+pub fn replay_in_proc(
+    harness: &SimulationHarness,
+    cfg: &ReplayConfig,
+) -> Result<ReplayOutcome, TransportError> {
+    replay(harness, cfg, |server| Ok(InProcTransport::connect(Arc::clone(server))))
+}
+
+/// [`replay`] over loopback TCP: starts an accept loop, gives every
+/// client its own connection, and tears the listener down afterwards.
+///
+/// # Errors
+///
+/// Fails when the listener cannot bind or a client exchange breaks.
+pub fn replay_tcp(
+    harness: &SimulationHarness,
+    cfg: &ReplayConfig,
+) -> Result<ReplayOutcome, TransportError> {
+    let mut handle: Option<TcpServerHandle> = None;
+    let outcome = replay(harness, cfg, |server| {
+        if handle.is_none() {
+            handle = Some(TcpServerHandle::serve(Arc::clone(server))?);
+        }
+        let addr = handle.as_ref().expect("listener just started").addr();
+        Ok(TcpTransport::connect(addr)?)
+    });
+    if let Some(mut h) = handle {
+        h.shutdown();
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::SimulationConfig;
+
+    #[test]
+    fn in_proc_replay_fires_exactly_the_ground_truth_prefix() {
+        let harness = SimulationHarness::build(&SimulationConfig::smoke_test());
+        let cfg = ReplayConfig { steps: Some(120), ..ReplayConfig::default() };
+        let outcome = replay_in_proc(&harness, &cfg).expect("transport must hold");
+        outcome.assert_accurate();
+        assert_eq!(outcome.steps, 120);
+        assert_eq!(outcome.clients.len(), harness.config().fleet.vehicles);
+        let uplinks: u64 = outcome.clients.iter().map(|(_, _, s)| s.uplinks).sum();
+        assert!(uplinks > 0, "someone must have talked to the server");
+        assert!(
+            uplinks < harness.config().fleet.vehicles as u64 * 120,
+            "safe regions must suppress most samples"
+        );
+    }
+
+    #[test]
+    fn replay_caches_public_bitmaps_across_pbsr_clients() {
+        let harness = SimulationHarness::build(&SimulationConfig::smoke_test());
+        let cfg = ReplayConfig {
+            steps: Some(120),
+            strategies: vec![StrategySpec::Pbsr { height: 3 }],
+            ..ReplayConfig::default()
+        };
+        let outcome = replay_in_proc(&harness, &cfg).expect("transport must hold");
+        outcome.assert_accurate();
+        let stats = outcome.cache;
+        assert!(
+            stats.hits + stats.misses > 0,
+            "PBSR installs must consult the public-bitmap cache"
+        );
+        assert!(stats.hits > 0, "12 clients over a small grid must share some bitmaps");
+    }
+}

@@ -1,0 +1,567 @@
+//! The concurrent safe-region server: session registry, request router,
+//! and the per-shard worker logic.
+//!
+//! The router ([`Server::handle`]) is intentionally thin. Control
+//! messages (`Hello`, `Bye`, alarm install/remove, OPT trigger notify)
+//! are answered inline — they touch only lock-protected shared maps and
+//! never compute geometry. Location updates — the hot path — are routed
+//! to the owning shard's bounded queue; a full queue answers
+//! [`Response::Overloaded`] immediately instead of blocking the caller
+//! behind a slow shard.
+//!
+//! Lock discipline: workers and the router take at most one lock at a
+//! time, except the safe-period path which holds `global_index.read()`
+//! and `fired.read()` together; no writer ever takes a second lock, so
+//! no cycle exists.
+
+use crate::cache::{CacheStats, RegionCache};
+use crate::shard::{shard_of_index, Job, ShardIndex, ShardPool, SubmitError};
+use crate::wire::{
+    dequantize_m, quantize_m, unpack_motion, Request, Response, StrategySpec, SEQ_MASK,
+};
+use crossbeam::channel::unbounded;
+use parking_lot::RwLock;
+use sa_alarms::{AlarmId, AlarmIndex, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
+use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
+use sa_geometry::{CellId, Grid, Point, Rect};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Error codes carried by [`Response::Error`].
+pub mod error_code {
+    /// The session id is unknown (no `Hello` seen).
+    pub const NO_SESSION: u32 = 1;
+    /// The request is invalid in the session's current state.
+    pub const BAD_REQUEST: u32 = 2;
+    /// An alarm id was out of range.
+    pub const UNKNOWN_ALARM: u32 = 3;
+}
+
+/// Sizing knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of worker shards (grid cells map to shards round-robin by
+    /// flattened index).
+    pub num_shards: usize,
+    /// Bounded per-shard queue capacity; a full queue answers
+    /// `Overloaded`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { num_shards: 4, queue_capacity: 64 }
+    }
+}
+
+/// Aggregate counters of one server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Location updates processed by workers.
+    pub location_updates: u64,
+    /// Alarm firings recorded (server- or client-detected).
+    pub triggers: u64,
+    /// Requests bounced with `Overloaded`.
+    pub overloads: u64,
+    /// Safe-region / safe-period computations performed.
+    pub region_computations: u64,
+}
+
+#[derive(Debug)]
+struct Session {
+    user: SubscriberId,
+    strategy: StrategySpec,
+    /// The last cell a bitmap/push was issued for (PBSR quick-update and
+    /// OPT cell-transition bookkeeping).
+    last_cell: Option<CellId>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    location_updates: AtomicU64,
+    triggers: AtomicU64,
+    overloads: AtomicU64,
+    region_computations: AtomicU64,
+}
+
+/// Shared state reachable from the router and every worker.
+struct Core {
+    grid: Grid,
+    v_max: f64,
+    num_shards: usize,
+    /// Global index (dense ids) — safe-period nearest-distance queries
+    /// must see every alarm, wherever it lives.
+    global_index: RwLock<AlarmIndex>,
+    /// Shard-local indexes over the alarms intersecting each shard's
+    /// cells.
+    shard_indexes: Vec<RwLock<ShardIndex>>,
+    /// (subscriber, alarm) pairs that already fired — alarms fire once.
+    fired: RwLock<HashSet<(SubscriberId, AlarmId)>>,
+    sessions: RwLock<HashMap<u32, Session>>,
+    cache: RegionCache,
+    counters: Counters,
+    next_session: AtomicU32,
+}
+
+/// The live safe-region service. Build with [`Server::start`], talk to it
+/// through a [`crate::transport::Transport`].
+pub struct Server {
+    core: Arc<Core>,
+    pool: RwLock<Option<ShardPool>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("num_shards", &self.core.num_shards)
+            .field("alarms", &self.core.global_index.read().len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Builds the shard indexes from `alarms` and spawns the worker
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v_max` is not positive or the config has zero shards
+    /// or queue capacity.
+    pub fn start(
+        grid: Grid,
+        alarms: Vec<SpatialAlarm>,
+        v_max: f64,
+        config: ServerConfig,
+    ) -> Arc<Server> {
+        assert!(v_max > 0.0, "maximum speed must be positive");
+        assert!(config.num_shards > 0, "need at least one shard");
+
+        // Partition: each shard owns the alarms intersecting its cells.
+        let mut per_shard: Vec<Vec<SpatialAlarm>> = vec![Vec::new(); config.num_shards];
+        for alarm in &alarms {
+            let mut owners: Vec<usize> = grid
+                .cells_intersecting(alarm.region())
+                .map(|cell| shard_of_index(grid.cell_index(cell), config.num_shards))
+                .collect();
+            owners.sort_unstable();
+            owners.dedup();
+            for shard in owners {
+                per_shard[shard].push(alarm.clone());
+            }
+        }
+
+        let core = Arc::new(Core {
+            num_shards: config.num_shards,
+            v_max,
+            global_index: RwLock::new(AlarmIndex::build(alarms)),
+            shard_indexes: per_shard
+                .iter()
+                .map(|owned| RwLock::new(ShardIndex::build(owned)))
+                .collect(),
+            fired: RwLock::new(HashSet::new()),
+            sessions: RwLock::new(HashMap::new()),
+            cache: RegionCache::new(),
+            counters: Counters::default(),
+            next_session: AtomicU32::new(1),
+            grid,
+        });
+
+        let worker_core = Arc::clone(&core);
+        let handler = Arc::new(move |shard: usize, job: Job| {
+            let responses = worker_core.process(shard, job.session, &job.req);
+            let _ = job.reply.send(responses);
+        });
+        let pool = ShardPool::spawn(config.num_shards, config.queue_capacity, handler);
+        Arc::new(Server { core, pool: RwLock::new(Some(pool)) })
+    }
+
+    /// Allocates a fresh session id. The session only becomes usable
+    /// after a [`Request::Hello`] on it.
+    pub fn open_session(&self) -> u32 {
+        self.core.next_session.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The grid the server shards over.
+    pub fn grid(&self) -> &Grid {
+        &self.core.grid
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            location_updates: self.core.counters.location_updates.load(Ordering::Relaxed),
+            triggers: self.core.counters.triggers.load(Ordering::Relaxed),
+            overloads: self.core.counters.overloads.load(Ordering::Relaxed),
+            region_computations: self.core.counters.region_computations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Safe-region cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.core.cache.stats()
+    }
+
+    /// Routes one request and returns its full response sequence: zero or
+    /// more trigger deliveries followed by one terminal response.
+    pub fn handle(&self, session: u32, req: Request) -> Vec<Response> {
+        let seq = req.seq();
+        match req {
+            Request::Hello { seq, user, strategy } => {
+                self.core.sessions.write().insert(
+                    session,
+                    Session { user: SubscriberId(user), strategy, last_cell: None },
+                );
+                vec![Response::Ack { seq }]
+            }
+            Request::Bye { seq } => {
+                self.core.sessions.write().remove(&session);
+                vec![Response::Ack { seq }]
+            }
+            Request::TriggerNotify { seq, alarm } => self.core.notify_trigger(session, seq, alarm),
+            Request::InstallAlarm { seq, alarm, flags, rect } => {
+                self.install_alarm(session, seq, alarm, flags, rect)
+            }
+            Request::RemoveAlarm { seq, alarm } => self.remove_alarm(session, seq, alarm),
+            req @ Request::LocationUpdate { x_fx, y_fx, .. } => {
+                if !self.core.session_exists(session) {
+                    return vec![Response::Error { seq, code: error_code::NO_SESSION }];
+                }
+                let pos = self.core.clamped_position(x_fx, y_fx);
+                let cell = self.core.grid.cell_of(pos);
+                let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
+                let (reply_tx, reply_rx) = unbounded();
+                let job = Job { session, req, reply: reply_tx };
+                // Submit under the read guard, but wait for the reply
+                // outside it so shutdown() is never blocked behind a
+                // slow worker.
+                let submitted = {
+                    let pool = self.pool.read();
+                    match pool.as_ref() {
+                        Some(pool) => pool.try_submit(shard, job),
+                        None => {
+                            return vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
+                        }
+                    }
+                };
+                match submitted {
+                    Ok(()) => {}
+                    Err(SubmitError::Full(_)) => {
+                        self.core.counters.overloads.fetch_add(1, Ordering::Relaxed);
+                        return vec![Response::Overloaded { seq }];
+                    }
+                    Err(SubmitError::Disconnected(_)) => {
+                        return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
+                    }
+                }
+                reply_rx.recv().unwrap_or_else(|_| {
+                    vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
+                })
+            }
+        }
+    }
+
+    /// Installs a static-target alarm everywhere it belongs: the global
+    /// index, every intersecting shard, and the epoch/invalidations of
+    /// every intersecting cell. Moving-target alarms are not part of wire
+    /// protocol v1.
+    fn install_alarm(&self, session: u32, seq: u32, alarm: u32, flags: u32, rect: [u32; 4]) -> Vec<Response> {
+        if !self.core.session_exists(session) {
+            return vec![Response::Error { seq, code: error_code::NO_SESSION }];
+        }
+        let region = match dequantize_rect(rect) {
+            Some(r) => r,
+            None => return vec![Response::Error { seq, code: error_code::BAD_REQUEST }],
+        };
+        let owner = SubscriberId(flags >> 1);
+        let scope = if flags & 1 == 1 {
+            AlarmScope::Public { owner }
+        } else {
+            AlarmScope::Private { owner }
+        };
+        let center = region.center();
+        let alarm = SpatialAlarm::new(
+            AlarmId(alarm as u64),
+            region,
+            AlarmTarget::Static(center),
+            scope,
+        );
+        {
+            let mut global = self.core.global_index.write();
+            if alarm.id().0 as usize != global.len() {
+                return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
+            }
+            global.install(alarm.clone());
+        }
+        for shard in self.core.shards_of_region(region) {
+            self.core.shard_indexes[shard].write().install(&alarm);
+        }
+        self.core.bump_cells(region);
+        vec![Response::Ack { seq }]
+    }
+
+    /// Deactivates an alarm in the global and shard indexes and
+    /// invalidates the cached regions of every cell it intersected.
+    fn remove_alarm(&self, session: u32, seq: u32, alarm: u32) -> Vec<Response> {
+        if !self.core.session_exists(session) {
+            return vec![Response::Error { seq, code: error_code::NO_SESSION }];
+        }
+        let id = AlarmId(alarm as u64);
+        let region = {
+            let global = self.core.global_index.read();
+            if id.0 as usize >= global.len() {
+                return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
+            }
+            global.alarm(id).region()
+        };
+        if !self.core.global_index.write().deactivate(id) {
+            return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
+        }
+        for shard in self.core.shards_of_region(region) {
+            self.core.shard_indexes[shard].write().deactivate(id);
+        }
+        self.core.bump_cells(region);
+        vec![Response::Ack { seq }]
+    }
+
+    /// Stops the worker threads (queued jobs finish first). Subsequent
+    /// location updates are rejected.
+    pub fn shutdown(&self) {
+        if let Some(pool) = self.pool.write().take() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dequantize_rect(rect: [u32; 4]) -> Option<Rect> {
+    Rect::new(
+        dequantize_m(rect[0]),
+        dequantize_m(rect[1]),
+        dequantize_m(rect[2]),
+        dequantize_m(rect[3]),
+    )
+    .ok()
+}
+
+/// Quantizes a rect to its wire corners.
+pub fn quantize_rect(rect: Rect) -> [u32; 4] {
+    [
+        quantize_m(rect.min_x()),
+        quantize_m(rect.min_y()),
+        quantize_m(rect.max_x()),
+        quantize_m(rect.max_y()),
+    ]
+}
+
+impl Core {
+    fn session_exists(&self, session: u32) -> bool {
+        self.sessions.read().contains_key(&session)
+    }
+
+    /// Dequantizes a wire position and clamps it into the universe, so a
+    /// coordinate that rounded marginally past the boundary still
+    /// resolves to a valid cell whose rectangle contains it.
+    fn clamped_position(&self, x_fx: u32, y_fx: u32) -> Point {
+        let u = self.grid.universe();
+        Point::new(
+            dequantize_m(x_fx).clamp(u.min_x(), u.max_x()),
+            dequantize_m(y_fx).clamp(u.min_y(), u.max_y()),
+        )
+    }
+
+    fn shards_of_region(&self, region: Rect) -> Vec<usize> {
+        let mut shards: Vec<usize> = self
+            .grid
+            .cells_intersecting(region)
+            .map(|cell| shard_of_index(self.grid.cell_index(cell), self.num_shards))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    fn bump_cells(&self, region: Rect) {
+        for cell in self.grid.cells_intersecting(region) {
+            self.cache.bump_epoch(self.grid.cell_index(cell));
+        }
+    }
+
+    /// The subscriber's already-fired alarm set (snapshot).
+    fn fired_for(&self, user: SubscriberId) -> HashSet<AlarmId> {
+        self.fired.read().iter().filter(|(u, _)| *u == user).map(|(_, a)| *a).collect()
+    }
+
+    /// OPT client-side trigger notification: record the firing (routed
+    /// inline — it only touches the fired set).
+    fn notify_trigger(&self, session: u32, seq: u32, alarm: u32) -> Vec<Response> {
+        let user = match self.sessions.read().get(&session) {
+            Some(s) => s.user,
+            None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
+        };
+        if self.fired.write().insert((user, AlarmId(alarm as u64))) {
+            self.counters.triggers.fetch_add(1, Ordering::Relaxed);
+        }
+        vec![Response::Ack { seq }]
+    }
+
+    /// The shard-worker entry point: evaluate one location update.
+    fn process(&self, shard: usize, session: u32, req: &Request) -> Vec<Response> {
+        let &Request::LocationUpdate { seq, x_fx, y_fx, motion } = req else {
+            return vec![Response::Error { seq: req.seq(), code: error_code::BAD_REQUEST }];
+        };
+        let (user, strategy) = match self.sessions.read().get(&session) {
+            Some(s) => (s.user, s.strategy),
+            None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
+        };
+        self.counters.location_updates.fetch_add(1, Ordering::Relaxed);
+
+        let pos = self.clamped_position(x_fx, y_fx);
+        let (heading, _speed) = unpack_motion(motion);
+        let cell = self.grid.cell_of(pos);
+        let cell_rect = self.grid.cell_rect(cell);
+        let cell_word = self.grid.cell_index(cell) as u32;
+
+        // Server-side trigger check against the shard-local index; the
+        // triggering alarm contains `pos`, hence intersects `cell`, hence
+        // is owned by this shard.
+        let triggering = self.shard_indexes[shard].read().triggering_at(user, pos);
+        let mut out = Vec::new();
+        if !triggering.is_empty() {
+            let mut fired = self.fired.write();
+            for id in triggering {
+                if fired.insert((user, id)) {
+                    self.counters.triggers.fetch_add(1, Ordering::Relaxed);
+                    out.push(Response::TriggerDelivery { seq, alarm: id.0 as u32 });
+                }
+            }
+        }
+        let fired_now = !out.is_empty();
+
+        match strategy {
+            StrategySpec::Mwpsr => {
+                let candidates =
+                    self.shard_indexes[shard].read().relevant_intersecting(user, cell_rect);
+                let fired = self.fired_for(user);
+                let obstacles: Vec<Rect> = candidates
+                    .iter()
+                    .filter(|v| !fired.contains(&v.id))
+                    .map(|v| v.region)
+                    .collect();
+                self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+                let region =
+                    MwpsrComputer::non_weighted().compute(pos, heading, cell_rect, &obstacles);
+                out.push(Response::RectInstall {
+                    seq,
+                    cell: cell_word,
+                    rect: quantize_rect(region.rect()),
+                });
+            }
+            StrategySpec::Pbsr { height } => {
+                let prev = {
+                    let mut sessions = self.sessions.write();
+                    match sessions.get_mut(&session) {
+                        Some(s) => s.last_cell.replace(cell),
+                        None => None,
+                    }
+                };
+                // §4.2: inside the base cell the region is only refreshed
+                // when an alarm actually fired (the quick update); plain
+                // blocked-subcell reports get a bare acknowledgement.
+                if prev == Some(cell) && !fired_now {
+                    out.push(Response::Ack { seq });
+                } else {
+                    let region = self.pbsr_region(shard, user, cell, cell_rect, height);
+                    out.push(Response::BitmapInstall {
+                        seq,
+                        cell: cell_word,
+                        bits: region.to_wire_bits(),
+                    });
+                }
+            }
+            StrategySpec::Opt => {
+                let views = self.shard_indexes[shard].read().all_intersecting(user, cell_rect);
+                let fired = self.fired_for(user);
+                self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+                let alarms = views
+                    .iter()
+                    .filter(|v| !fired.contains(&v.id))
+                    .map(|v| crate::wire::PushedAlarm {
+                        alarm: v.id.0 as u32,
+                        relevant: v.relevant,
+                        rect: quantize_rect(v.region),
+                    })
+                    .collect();
+                out.push(Response::AlarmPush { seq, cell: cell_word, alarms });
+            }
+            StrategySpec::SafePeriod => {
+                self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+                let fired = self.fired_for(user);
+                let (nearest, _) = self
+                    .global_index
+                    .read()
+                    .nearest_relevant_distance(user, pos, |id| !fired.contains(&id));
+                let universe = self.grid.universe();
+                let max_extent = universe.width().max(universe.height()) * 2.0;
+                let period_s = nearest.unwrap_or(max_extent) / self.v_max;
+                // Flooring to milliseconds only shortens the silence —
+                // the safe direction.
+                let period_ms = ((period_s * 1_000.0).floor() as u64).min(SEQ_MASK as u64) as u32;
+                out.push(Response::SafePeriodGrant { period_ms });
+            }
+        }
+        out
+    }
+
+    /// The PBSR terminal payload for one (user, cell): served from the
+    /// public-bitmap cache when the user's view of the cell equals the
+    /// public view (no personal obstacles, no fired public alarms),
+    /// computed fresh otherwise.
+    fn pbsr_region(
+        &self,
+        shard: usize,
+        user: SubscriberId,
+        cell: CellId,
+        cell_rect: Rect,
+        height: u32,
+    ) -> sa_core::BitmapSafeRegion {
+        let views = self.shard_indexes[shard].read().relevant_intersecting(user, cell_rect);
+        let fired = self.fired_for(user);
+        let personal_unfired: Vec<Rect> = views
+            .iter()
+            .filter(|v| !v.public && !fired.contains(&v.id))
+            .map(|v| v.region)
+            .collect();
+        let any_public_fired = views.iter().any(|v| v.public && fired.contains(&v.id));
+        let computer = PyramidComputer::new(PyramidConfig::three_by_three(height));
+
+        if personal_unfired.is_empty() && !any_public_fired {
+            // The user's obstacle set is exactly the cell's public set:
+            // the cacheable case the paper precomputes offline.
+            let cell_index = self.grid.cell_index(cell);
+            if let Some(region) = self.cache.lookup(cell_index, height) {
+                return region;
+            }
+            let epoch = self.cache.epoch(cell_index);
+            let public: Vec<Rect> =
+                views.iter().filter(|v| v.public).map(|v| v.region).collect();
+            self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+            let region = computer.compute(cell_rect, &public);
+            self.cache.insert(cell_index, height, epoch, region.clone());
+            region
+        } else {
+            let obstacles: Vec<Rect> = views
+                .iter()
+                .filter(|v| !fired.contains(&v.id))
+                .map(|v| v.region)
+                .collect();
+            self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+            computer.compute(cell_rect, &obstacles)
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Grid-cell sharding: worker threads, bounded job queues with explicit
+//! backpressure, and the shard-local alarm indexes.
+//!
+//! The router maps every grid cell to one shard with the deterministic
+//! [`shard_of_index`] function; a shard owns every alarm whose region
+//! intersects one of its cells. Because a triggering alarm contains the
+//! client's position — and therefore intersects the position's cell — the
+//! owning shard can evaluate triggers and compute safe regions for its
+//! cells entirely from its local index.
+//!
+//! Jobs reach workers through **bounded** channels. The router only ever
+//! uses [`ShardPool::try_submit`]: when a shard's queue is full the
+//! submission fails immediately and the router answers
+//! `Response::Overloaded` instead of blocking behind a slow shard.
+
+use crate::wire::{Request, Response};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use sa_alarms::{AlarmId, AlarmIndex, SpatialAlarm, SubscriberId};
+use sa_geometry::{Point, Rect};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Deterministic cell → shard mapping over flattened cell indexes.
+pub fn shard_of_index(cell_index: u64, num_shards: usize) -> usize {
+    (cell_index % num_shards as u64) as usize
+}
+
+/// One alarm as seen by a worker: global id plus the fields trigger
+/// checks and safe-region computations consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlarmView {
+    /// Global alarm id.
+    pub id: AlarmId,
+    /// The alarm's spatial region.
+    pub region: Rect,
+    /// True for public-scope alarms.
+    pub public: bool,
+    /// True when the alarm can fire for the queried subscriber.
+    pub relevant: bool,
+}
+
+/// A shard-local [`AlarmIndex`] over the alarms intersecting the shard's
+/// cells.
+///
+/// `AlarmIndex` requires a dense id space (ids double as vector indexes),
+/// but a shard holds an arbitrary subset of the global alarms, so the
+/// index relabels them with dense local ids and keeps the local ↔ global
+/// mapping here. All public methods speak global ids.
+#[derive(Debug)]
+pub struct ShardIndex {
+    index: AlarmIndex,
+    to_global: Vec<AlarmId>,
+    from_global: HashMap<AlarmId, AlarmId>,
+}
+
+impl ShardIndex {
+    /// Builds the index over the given (globally-labelled) alarms.
+    pub fn build(alarms: &[SpatialAlarm]) -> ShardIndex {
+        let mut shard = ShardIndex {
+            index: AlarmIndex::build(Vec::new()),
+            to_global: Vec::new(),
+            from_global: HashMap::new(),
+        };
+        for alarm in alarms {
+            shard.install(alarm);
+        }
+        shard
+    }
+
+    /// Adds one alarm (next dense local id).
+    pub fn install(&mut self, alarm: &SpatialAlarm) {
+        let local = AlarmId(self.to_global.len() as u64);
+        self.to_global.push(alarm.id());
+        self.from_global.insert(alarm.id(), local);
+        self.index.install(SpatialAlarm::new(
+            local,
+            alarm.region(),
+            alarm.target(),
+            alarm.scope().clone(),
+        ));
+    }
+
+    /// Deactivates an alarm by global id. Returns false when this shard
+    /// never owned it.
+    pub fn deactivate(&mut self, global: AlarmId) -> bool {
+        match self.from_global.get(&global) {
+            Some(&local) => self.index.deactivate(local),
+            None => false,
+        }
+    }
+
+    /// Number of alarms ever installed in this shard.
+    pub fn len(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// True when the shard owns no alarms.
+    pub fn is_empty(&self) -> bool {
+        self.to_global.is_empty()
+    }
+
+    fn global(&self, local: AlarmId) -> AlarmId {
+        self.to_global[local.0 as usize]
+    }
+
+    /// Global ids of the relevant alarms whose regions *strictly* contain
+    /// `pos` — the server-side trigger check (the caller still filters by
+    /// fired state).
+    pub fn triggering_at(&self, user: SubscriberId, pos: Point) -> Vec<AlarmId> {
+        let (candidates, _) = self.index.relevant_at(user, pos);
+        candidates
+            .into_iter()
+            .filter(|a| a.triggers_at(pos))
+            .map(|a| self.global(a.id()))
+            .collect()
+    }
+
+    /// Views of the alarms relevant to `user` intersecting `area` — the
+    /// obstacle candidates for a safe-region computation.
+    pub fn relevant_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<AlarmView> {
+        self.index
+            .relevant_intersecting(user, area)
+            .into_iter()
+            .map(|a| AlarmView {
+                id: self.global(a.id()),
+                region: a.region(),
+                public: a.is_public(),
+                relevant: true,
+            })
+            .collect()
+    }
+
+    /// Views of **all** alarms intersecting `area` (the OPT push payload),
+    /// with per-user relevance flags.
+    pub fn all_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<AlarmView> {
+        self.index
+            .all_intersecting(area)
+            .into_iter()
+            .map(|a| AlarmView {
+                id: self.global(a.id()),
+                region: a.region(),
+                public: a.is_public(),
+                relevant: a.is_relevant_to(user),
+            })
+            .collect()
+    }
+}
+
+/// One queued unit of shard work: a decoded request plus the reply
+/// channel the worker answers on.
+#[derive(Debug)]
+pub struct Job {
+    /// The session the request arrived on.
+    pub session: u32,
+    /// The decoded request.
+    pub req: Request,
+    /// Where the worker sends the full response sequence.
+    pub reply: Sender<Vec<Response>>,
+}
+
+/// Submission failure modes of [`ShardPool::try_submit`].
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The shard's bounded queue is full — answer `Overloaded`.
+    Full(Job),
+    /// The shard's worker is gone (pool shut down).
+    Disconnected(Job),
+}
+
+/// The worker shards: one bounded queue and (normally) one thread each.
+#[derive(Debug)]
+pub struct ShardPool {
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `num_shards` workers, each draining its own queue of
+    /// capacity `queue_capacity` through `handler(shard, job)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_shards` or `queue_capacity` is zero.
+    pub fn spawn<H>(num_shards: usize, queue_capacity: usize, handler: Arc<H>) -> ShardPool
+    where
+        H: Fn(usize, Job) + Send + Sync + 'static,
+    {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(queue_capacity > 0, "queues must hold at least one job");
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(queue_capacity);
+            senders.push(tx);
+            let handler = Arc::clone(&handler);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sa-shard-{shard}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            handler(shard, job);
+                        }
+                    })
+                    .expect("spawning a shard worker"),
+            );
+        }
+        ShardPool { senders, workers }
+    }
+
+    /// A pool with queues but **no worker threads** — nothing ever drains
+    /// the queues, so `queue_capacity` submissions fill a shard. Only
+    /// useful to test backpressure.
+    pub fn without_workers(num_shards: usize, queue_capacity: usize) -> ShardPool {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(queue_capacity > 0, "queues must hold at least one job");
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut workers = Vec::new();
+        for _ in 0..num_shards {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(queue_capacity);
+            // Park the receiver in a thread that never reads, keeping the
+            // channel connected so try_send reports Full, not Disconnected.
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .spawn(move || {
+                        let _rx = rx;
+                        std::thread::park();
+                    })
+                    .expect("spawning a parked holder"),
+            );
+        }
+        ShardPool { senders, workers }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Queue depth of one shard (for tests and stats).
+    pub fn queue_len(&self, shard: usize) -> usize {
+        self.senders[shard].len()
+    }
+
+    /// Non-blocking submission.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the shard's queue is at capacity (the
+    /// router converts this to `Overloaded`), [`SubmitError::Disconnected`]
+    /// after shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn try_submit(&self, shard: usize, job: Job) -> Result<(), SubmitError> {
+        match self.senders[shard].try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => Err(SubmitError::Full(job)),
+            Err(TrySendError::Disconnected(job)) => Err(SubmitError::Disconnected(job)),
+        }
+    }
+
+    /// Drops the queues and joins the workers. Workers holding queued
+    /// jobs finish them first; parked no-worker holders are unparked.
+    pub fn shutdown(self) {
+        drop(self.senders);
+        for worker in &self.workers {
+            worker.thread().unpark();
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::StrategySpec;
+    use crossbeam::channel::unbounded;
+    use sa_alarms::{AlarmScope, AlarmTarget};
+
+    fn alarm(id: u64, min: f64, public: bool) -> SpatialAlarm {
+        let scope = if public {
+            AlarmScope::Public { owner: SubscriberId(0) }
+        } else {
+            AlarmScope::Private { owner: SubscriberId(1) }
+        };
+        SpatialAlarm::new(
+            AlarmId(id),
+            Rect::new(min, min, min + 100.0, min + 100.0).unwrap(),
+            AlarmTarget::Static(Point::new(min + 50.0, min + 50.0)),
+            scope,
+        )
+    }
+
+    #[test]
+    fn shard_index_speaks_global_ids() {
+        // Sparse global ids 7 and 42: a plain AlarmIndex would reject them.
+        let alarms = vec![alarm(7, 0.0, true), alarm(42, 1_000.0, false)];
+        let shard = ShardIndex::build(&alarms);
+        assert_eq!(shard.len(), 2);
+        let hit = shard.triggering_at(SubscriberId(9), Point::new(50.0, 50.0));
+        assert_eq!(hit, vec![AlarmId(7)]);
+        // The private alarm only triggers for its owner.
+        assert!(shard.triggering_at(SubscriberId(9), Point::new(1_050.0, 1_050.0)).is_empty());
+        assert_eq!(
+            shard.triggering_at(SubscriberId(1), Point::new(1_050.0, 1_050.0)),
+            vec![AlarmId(42)]
+        );
+        let area = Rect::new(0.0, 0.0, 2_000.0, 2_000.0).unwrap();
+        let all = shard.all_intersecting(SubscriberId(9), area);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|v| v.id == AlarmId(42) && !v.relevant && !v.public));
+        assert_eq!(shard.relevant_intersecting(SubscriberId(9), area).len(), 1);
+    }
+
+    #[test]
+    fn shard_index_deactivation() {
+        let alarms = vec![alarm(7, 0.0, true)];
+        let mut shard = ShardIndex::build(&alarms);
+        assert!(!shard.is_empty());
+        assert!(shard.deactivate(AlarmId(7)));
+        assert!(!shard.deactivate(AlarmId(7)), "second deactivation is a no-op");
+        assert!(!shard.deactivate(AlarmId(99)), "unknown ids are not owned");
+        assert!(shard.triggering_at(SubscriberId(9), Point::new(50.0, 50.0)).is_empty());
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure_without_blocking() {
+        let pool = ShardPool::without_workers(2, 1);
+        let (reply, _keep) = unbounded();
+        let job = |seq| Job {
+            session: 0,
+            req: Request::Bye { seq },
+            reply: reply.clone(),
+        };
+        assert!(pool.try_submit(0, job(1)).is_ok());
+        let start = std::time::Instant::now();
+        match pool.try_submit(0, job(2)) {
+            Err(SubmitError::Full(job)) => assert_eq!(job.req, Request::Bye { seq: 2 }),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "try_submit must not block on a full queue"
+        );
+        // The sibling shard still accepts work.
+        assert!(pool.try_submit(1, job(3)).is_ok());
+        assert_eq!(pool.queue_len(0), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn workers_drain_jobs_and_answer_on_the_reply_channel() {
+        let handler = Arc::new(|shard: usize, job: Job| {
+            let _ = job
+                .reply
+                .send(vec![Response::Error { seq: job.req.seq(), code: shard as u32 }]);
+        });
+        let pool = ShardPool::spawn(3, 4, handler);
+        assert_eq!(pool.num_shards(), 3);
+        let (reply_tx, reply_rx) = unbounded();
+        for shard in 0..3 {
+            pool.try_submit(
+                shard,
+                Job {
+                    session: 1,
+                    req: Request::Hello {
+                        seq: shard as u32,
+                        user: 0,
+                        strategy: StrategySpec::Mwpsr,
+                    },
+                    reply: reply_tx.clone(),
+                },
+            )
+            .unwrap();
+        }
+        let mut codes: Vec<u32> = (0..3)
+            .map(|_| match reply_rx.recv().unwrap().pop().unwrap() {
+                Response::Error { code, .. } => code,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        codes.sort_unstable();
+        assert_eq!(codes, vec![0, 1, 2]);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,269 @@
+//! Two transports behind one trait.
+//!
+//! [`InProcTransport`] calls the server directly but still round-trips
+//! every message through the wire codec, so in-process tests exercise
+//! exactly the bytes a socket would carry. [`TcpTransport`] speaks
+//! length-prefixed frames over a loopback [`std::net::TcpStream`] to a
+//! [`TcpServerHandle`] accept loop.
+//!
+//! A request's response sequence is zero or more
+//! [`Response::TriggerDelivery`] frames followed by exactly one terminal
+//! frame; [`Transport::request`] reads until the terminal and returns
+//! the whole sequence.
+
+use crate::server::Server;
+use crate::wire::{frame, read_frame, write_frame, Request, Response, WireError};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Failure while exchanging one request.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame decoded to garbage.
+    Wire(WireError),
+    /// The peer closed the connection mid-exchange.
+    Closed,
+    /// The peer answered with something the protocol does not allow
+    /// here (e.g. an `Error` response to a well-formed update).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Closed => write!(f, "connection closed mid-exchange"),
+            TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> TransportError {
+        TransportError::Wire(e)
+    }
+}
+
+/// A client's view of the server: send one request, receive its full
+/// response sequence (trigger deliveries, then one terminal response).
+pub trait Transport {
+    /// Exchanges one request.
+    fn request(&mut self, req: Request) -> Result<Vec<Response>, TransportError>;
+}
+
+/// In-process transport: direct calls, but every request and response
+/// passes through encode→decode so the codec is always on the path.
+pub struct InProcTransport {
+    server: Arc<Server>,
+    session: u32,
+}
+
+impl InProcTransport {
+    /// Opens a fresh session on `server`.
+    pub fn connect(server: Arc<Server>) -> InProcTransport {
+        let session = server.open_session();
+        InProcTransport { server, session }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn request(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
+        // Round-trip the request through the codec before the server
+        // sees it — the in-proc path must not skip quantization.
+        let req = Request::decode(&req.encode())?;
+        let mut out = Vec::new();
+        for resp in self.server.handle(self.session, req) {
+            let resp = Response::decode(&resp.encode())?;
+            let terminal = resp.is_terminal();
+            out.push(resp);
+            if terminal {
+                return Ok(out);
+            }
+        }
+        Err(TransportError::Closed)
+    }
+}
+
+/// A running TCP accept loop serving one [`Server`] on loopback.
+pub struct TcpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// Binds `127.0.0.1:0` and starts accepting connections; each
+    /// connection gets its own session and handler thread.
+    pub fn serve(server: Arc<Server>) -> std::io::Result<TcpServerHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("sa-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let server = Arc::clone(&server);
+                    // Detached on purpose: a connection thread lives
+                    // exactly as long as its client keeps the socket
+                    // open, and joining it here would deadlock a
+                    // shutdown racing a still-connected client.
+                    std::thread::Builder::new()
+                        .name("sa-conn".into())
+                        .spawn(move || serve_connection(server, stream))
+                        .expect("spawn connection thread");
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpServerHandle { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Connections already
+    /// open finish when their client disconnects.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-connection loop: one session, frames in, frames out, until the
+/// client disconnects or a frame fails to parse.
+fn serve_connection(server: Arc<Server>, mut stream: TcpStream) {
+    let session = server.open_session();
+    stream.set_nodelay(true).ok();
+    while let Ok(Some(body)) = read_frame(&mut stream) {
+        let Ok(req) = Request::decode(&body) else { break };
+        let mut failed = false;
+        for resp in server.handle(session, req) {
+            if write_frame(&mut stream, &resp.encode()).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if failed || stream.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Loopback TCP client endpoint.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a [`TcpServerHandle`]'s address.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
+        self.stream.write_all(&frame(&req.encode()))?;
+        self.stream.flush()?;
+        let mut out = Vec::new();
+        loop {
+            let body = read_frame(&mut self.stream)?.ok_or(TransportError::Closed)?;
+            let resp = Response::decode(&body)?;
+            let terminal = resp.is_terminal();
+            out.push(resp);
+            if terminal {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use crate::wire::StrategySpec;
+    use sa_geometry::{Grid, Rect};
+
+    fn tiny_server() -> Arc<Server> {
+        let universe = Rect::new(0.0, 0.0, 3_000.0, 3_000.0).unwrap();
+        let grid = Grid::new(universe, 1_000.0).unwrap();
+        Server::start(grid, Vec::new(), 30.0, ServerConfig::default())
+    }
+
+    fn hello(seq: u32) -> Request {
+        Request::Hello { seq, user: 7, strategy: StrategySpec::Mwpsr }
+    }
+
+    #[test]
+    fn in_proc_round_trips_through_the_codec() {
+        let server = tiny_server();
+        let mut t = InProcTransport::connect(Arc::clone(&server));
+        let resp = t.request(hello(1)).unwrap();
+        assert_eq!(resp, vec![Response::Ack { seq: 1 }]);
+        let resp = t.request(Request::Bye { seq: 2 }).unwrap();
+        assert_eq!(resp, vec![Response::Ack { seq: 2 }]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_serves_frames_on_loopback() {
+        let server = tiny_server();
+        let mut handle = TcpServerHandle::serve(Arc::clone(&server)).unwrap();
+        let mut a = TcpTransport::connect(handle.addr()).unwrap();
+        let mut b = TcpTransport::connect(handle.addr()).unwrap();
+        assert_eq!(a.request(hello(1)).unwrap(), vec![Response::Ack { seq: 1 }]);
+        assert_eq!(b.request(hello(9)).unwrap(), vec![Response::Ack { seq: 9 }]);
+        // Sessions are per-connection: both clients said Hello for user 7
+        // but on distinct sessions, so each Bye only tears down its own.
+        assert_eq!(a.request(Request::Bye { seq: 2 }).unwrap(), vec![Response::Ack { seq: 2 }]);
+        assert_eq!(b.request(Request::Bye { seq: 10 }).unwrap(), vec![Response::Ack { seq: 10 }]);
+        handle.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn location_update_without_hello_is_an_error() {
+        let server = tiny_server();
+        let mut t = InProcTransport::connect(Arc::clone(&server));
+        let resp = t
+            .request(Request::LocationUpdate { seq: 3, x_fx: 0, y_fx: 0, motion: 0 })
+            .unwrap();
+        assert!(matches!(resp.as_slice(), [Response::Error { seq: 3, .. }]));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,755 @@
+//! The binary wire protocol of the live safe-region service.
+//!
+//! Every message travels as a **frame**: a big-endian `u32` length prefix
+//! followed by that many body bytes. The first body word is the *head*:
+//! the message type in the high nibble and a 28-bit sequence number in the
+//! low bits. The one exception is [`Response::SafePeriodGrant`], which the
+//! paper budgets at exactly 32 bits ([`payload::SAFE_PERIOD_BITS`]): its
+//! single word carries the type nibble and a 28-bit period in
+//! milliseconds, with no sequence number.
+//!
+//! The fixed-size messages encode to **exactly** the bit budgets the
+//! simulation's bandwidth model charges (`sa_sim::message::payload`), so
+//! the live server and the analytical model account bandwidth
+//! identically; the codec tests assert each equality. Variable-size
+//! messages (bitmap installs, alarm pushes) expose the charged size via
+//! [`Response::charged_bits`], matching the model's
+//! `REGION_HEADER_BITS + payload` formulas. On-wire those messages carry
+//! a small amount of framing the model does not charge (an explicit bit
+//! length, byte padding); [`Response::encoded_len`] documents the exact
+//! byte layout.
+//!
+//! Coordinates are quantized to unsigned Q16.16 fixed point (≈ 7.6 µm
+//! resolution — far below any alarm-boundary feature of the simulated
+//! worlds), headings to 16 bits over a full turn, speeds to cm/s.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sa_core::BitVec;
+use sa_sim::payload;
+use std::fmt;
+
+/// Sequence numbers occupy the low 28 bits of the head word.
+pub const SEQ_MASK: u32 = 0x0FFF_FFFF;
+
+/// Decode-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before the layout was complete.
+    Truncated,
+    /// The type nibble does not name a message of the expected direction.
+    UnknownType(u8),
+    /// A structurally invalid body (bad length fields, trailing bytes…).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Quantizes a universe coordinate (meters) to unsigned Q16.16.
+///
+/// The simulated universes are at most ~32 km on a side, so the integer
+/// part fits 16 bits with room to spare (2^16 = 65 536 m).
+pub fn quantize_m(meters: f64) -> u32 {
+    debug_assert!((0.0..65_536.0).contains(&meters), "coordinate {meters} out of Q16.16 range");
+    (meters * 65_536.0).round() as u32
+}
+
+/// Inverse of [`quantize_m`].
+pub fn dequantize_m(fx: u32) -> f64 {
+    fx as f64 / 65_536.0
+}
+
+/// Packs heading (radians) and speed (m/s) into one word: heading in the
+/// high 16 bits (full turn mapped to 0..=65535), speed in cm/s in the low
+/// 16 bits (clamped at ~655 m/s).
+pub fn pack_motion(heading: f64, speed_mps: f64) -> u32 {
+    let turn = heading.rem_euclid(std::f64::consts::TAU) / std::f64::consts::TAU;
+    let h = ((turn * 65_535.0).round() as u32).min(65_535);
+    let s = ((speed_mps.max(0.0) * 100.0).round() as u32).min(65_535);
+    (h << 16) | s
+}
+
+/// Inverse of [`pack_motion`]: `(heading_radians, speed_mps)`.
+pub fn unpack_motion(motion: u32) -> (f64, f64) {
+    let heading = (motion >> 16) as f64 / 65_535.0 * std::f64::consts::TAU;
+    let speed = (motion & 0xFFFF) as f64 / 100.0;
+    (heading, speed)
+}
+
+/// The monitoring strategy a session asks the server to run for it,
+/// negotiated in [`Request::Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategySpec {
+    /// §3 rectangular safe regions (maximum perimeter variant).
+    Mwpsr,
+    /// §4 pyramid bitmap safe regions of the given height.
+    Pbsr {
+        /// Pyramid height (levels of 3×3 refinement).
+        height: u32,
+    },
+    /// The §4 optimal baseline: push every alarm in the client's cell.
+    Opt,
+    /// The safe-period baseline \[3\].
+    SafePeriod,
+}
+
+impl StrategySpec {
+    fn encode(self) -> (u32, u32) {
+        match self {
+            StrategySpec::Mwpsr => (0, 0),
+            StrategySpec::Pbsr { height } => (1, height),
+            StrategySpec::Opt => (2, 0),
+            StrategySpec::SafePeriod => (3, 0),
+        }
+    }
+
+    fn decode(tag: u32, param: u32) -> Result<StrategySpec, WireError> {
+        match tag {
+            0 => Ok(StrategySpec::Mwpsr),
+            1 if (1..=16).contains(&param) => Ok(StrategySpec::Pbsr { height: param }),
+            1 => Err(WireError::Malformed("pyramid height out of range")),
+            2 => Ok(StrategySpec::Opt),
+            3 => Ok(StrategySpec::SafePeriod),
+            _ => Err(WireError::Malformed("unknown strategy tag")),
+        }
+    }
+}
+
+/// One alarm entry of a [`Response::AlarmPush`]. The high bit of the
+/// alarm word flags relevance (the OPT client spatially tests irrelevant
+/// alarms too but never fires them); alarm ids therefore live in 31 bits
+/// on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushedAlarm {
+    /// Alarm id (31 bits on the wire).
+    pub alarm: u32,
+    /// Whether this alarm can fire for the receiving subscriber.
+    pub relevant: bool,
+    /// Alarm region corners as Q16.16: `[min_x, min_y, max_x, max_y]`.
+    pub rect: [u32; 4],
+}
+
+/// Client → server messages. Type nibbles 1–6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Opens a session: who the subscriber is and which strategy to run.
+    Hello {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// Subscriber id.
+        user: u32,
+        /// Monitoring strategy for this session.
+        strategy: StrategySpec,
+    },
+    /// One GPS fix, sent only when the client's local monitor demands
+    /// server contact. Exactly [`payload::LOCATION_UPDATE_BITS`] on the
+    /// wire.
+    LocationUpdate {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// X coordinate, Q16.16 meters.
+        x_fx: u32,
+        /// Y coordinate, Q16.16 meters.
+        y_fx: u32,
+        /// Packed heading/speed (see [`pack_motion`]).
+        motion: u32,
+    },
+    /// Client-side trigger detection (OPT): exactly
+    /// [`payload::TRIGGER_NOTIFY_BITS`] on the wire.
+    TriggerNotify {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// The alarm the client detected.
+        alarm: u32,
+    },
+    /// Installs a static-target alarm at runtime.
+    InstallAlarm {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// Alarm id to install.
+        alarm: u32,
+        /// Bit 0: public; bits 1..: owner subscriber id.
+        flags: u32,
+        /// Region corners as Q16.16: `[min_x, min_y, max_x, max_y]`.
+        rect: [u32; 4],
+    },
+    /// Removes (deactivates) an alarm.
+    RemoveAlarm {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// Alarm id to remove.
+        alarm: u32,
+    },
+    /// Closes the session.
+    Bye {
+        /// Request sequence number (28 bits).
+        seq: u32,
+    },
+}
+
+/// Server → client messages. Type nibbles 8–15.
+///
+/// A request is answered by zero or more [`Response::TriggerDelivery`]
+/// frames followed by exactly one *terminal* frame (any other variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Positive acknowledgement with no payload.
+    Ack {
+        /// Echoed request sequence number.
+        seq: u32,
+    },
+    /// A rectangular safe region (§3). Exactly
+    /// `REGION_HEADER_BITS + 128` on the wire.
+    RectInstall {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// Flattened grid-cell index the region was scoped to.
+        cell: u32,
+        /// Region corners as Q16.16: `[min_x, min_y, max_x, max_y]`.
+        rect: [u32; 4],
+    },
+    /// A pyramid-bitmap safe region (§4) for the client's base cell.
+    BitmapInstall {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// Flattened grid-cell index of the base cell.
+        cell: u32,
+        /// The nominal-layout bitmap
+        /// (see `BitmapSafeRegion::to_wire_bits`).
+        bits: BitVec,
+    },
+    /// The OPT baseline's alarm-set push for one cell.
+    AlarmPush {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// Flattened grid-cell index the set was gathered for.
+        cell: u32,
+        /// The unfired alarms intersecting the cell.
+        alarms: Vec<PushedAlarm>,
+    },
+    /// A server-detected alarm firing, delivered before the terminal
+    /// response. Exactly [`payload::TRIGGER_DELIVERY_BITS`] on the wire.
+    TriggerDelivery {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// The alarm that fired.
+        alarm: u32,
+    },
+    /// The safe-period baseline's grant: a single word carrying the
+    /// period in milliseconds (28 bits), exactly
+    /// [`payload::SAFE_PERIOD_BITS`] on the wire. Carries no sequence
+    /// number — the paper budgets this message at one word.
+    SafePeriodGrant {
+        /// Granted silent period in milliseconds (flooring only shortens
+        /// the silence, which is the safe direction).
+        period_ms: u32,
+    },
+    /// The target shard's bounded queue was full; the client should back
+    /// off and retry. Never blocks the router.
+    Overloaded {
+        /// Echoed request sequence number.
+        seq: u32,
+    },
+    /// The request was rejected (unknown session, bad state…).
+    Error {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// Coarse reason code.
+        code: u32,
+    },
+}
+
+const T_HELLO: u8 = 1;
+const T_LOCATION: u8 = 2;
+const T_NOTIFY: u8 = 3;
+const T_INSTALL: u8 = 4;
+const T_REMOVE: u8 = 5;
+const T_BYE: u8 = 6;
+const T_ACK: u8 = 8;
+const T_RECT: u8 = 9;
+const T_BITMAP: u8 = 10;
+const T_PUSH: u8 = 11;
+const T_DELIVERY: u8 = 12;
+const T_GRANT: u8 = 13;
+const T_OVERLOADED: u8 = 14;
+const T_ERROR: u8 = 15;
+
+fn head(ty: u8, seq: u32) -> u32 {
+    debug_assert!(seq <= SEQ_MASK, "sequence {seq} overflows 28 bits");
+    ((ty as u32) << 28) | (seq & SEQ_MASK)
+}
+
+fn split_head(word: u32) -> (u8, u32) {
+    ((word >> 28) as u8, word & SEQ_MASK)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_rect(buf: &mut &[u8]) -> Result<[u32; 4], WireError> {
+    Ok([get_u32(buf)?, get_u32(buf)?, get_u32(buf)?, get_u32(buf)?])
+}
+
+fn put_rect(buf: &mut BytesMut, rect: &[u32; 4]) {
+    for &w in rect {
+        buf.put_u32(w);
+    }
+}
+
+fn expect_empty(buf: &[u8]) -> Result<(), WireError> {
+    if buf.is_empty() { Ok(()) } else { Err(WireError::Malformed("trailing bytes")) }
+}
+
+impl Request {
+    /// Serializes the frame body (without the length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Request::Hello { seq, user, strategy } => {
+                let (tag, param) = strategy.encode();
+                buf.put_u32(head(T_HELLO, *seq));
+                buf.put_u32(*user);
+                buf.put_u32(tag);
+                buf.put_u32(param);
+            }
+            Request::LocationUpdate { seq, x_fx, y_fx, motion } => {
+                buf.put_u32(head(T_LOCATION, *seq));
+                buf.put_u32(*x_fx);
+                buf.put_u32(*y_fx);
+                buf.put_u32(*motion);
+            }
+            Request::TriggerNotify { seq, alarm } => {
+                buf.put_u32(head(T_NOTIFY, *seq));
+                buf.put_u32(*alarm);
+            }
+            Request::InstallAlarm { seq, alarm, flags, rect } => {
+                buf.put_u32(head(T_INSTALL, *seq));
+                buf.put_u32(*alarm);
+                buf.put_u32(*flags);
+                put_rect(&mut buf, rect);
+            }
+            Request::RemoveAlarm { seq, alarm } => {
+                buf.put_u32(head(T_REMOVE, *seq));
+                buf.put_u32(*alarm);
+            }
+            Request::Bye { seq } => buf.put_u32(head(T_BYE, *seq)),
+        }
+        debug_assert_eq!(buf.len(), self.encoded_len());
+        buf.freeze()
+    }
+
+    /// Exact body length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Request::Hello { .. } => 16,
+            Request::LocationUpdate { .. } => 16,
+            Request::TriggerNotify { .. } => 8,
+            Request::InstallAlarm { .. } => 28,
+            Request::RemoveAlarm { .. } => 8,
+            Request::Bye { .. } => 4,
+        }
+    }
+
+    /// The uplink bits the paper's bandwidth model charges for this
+    /// message. Equal to `8 × encoded_len()` for the budgeted messages.
+    pub fn charged_bits(&self) -> usize {
+        match self {
+            Request::LocationUpdate { .. } => payload::LOCATION_UPDATE_BITS,
+            Request::TriggerNotify { .. } => payload::TRIGGER_NOTIFY_BITS,
+            other => other.encoded_len() * 8,
+        }
+    }
+
+    /// The echoed sequence number.
+    pub fn seq(&self) -> u32 {
+        match self {
+            Request::Hello { seq, .. }
+            | Request::LocationUpdate { seq, .. }
+            | Request::TriggerNotify { seq, .. }
+            | Request::InstallAlarm { seq, .. }
+            | Request::RemoveAlarm { seq, .. }
+            | Request::Bye { seq } => *seq,
+        }
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the body is truncated, has trailing
+    /// bytes, or does not carry a request type.
+    pub fn decode(mut body: &[u8]) -> Result<Request, WireError> {
+        let (ty, seq) = split_head(get_u32(&mut body)?);
+        let req = match ty {
+            T_HELLO => {
+                let user = get_u32(&mut body)?;
+                let tag = get_u32(&mut body)?;
+                let param = get_u32(&mut body)?;
+                Request::Hello { seq, user, strategy: StrategySpec::decode(tag, param)? }
+            }
+            T_LOCATION => Request::LocationUpdate {
+                seq,
+                x_fx: get_u32(&mut body)?,
+                y_fx: get_u32(&mut body)?,
+                motion: get_u32(&mut body)?,
+            },
+            T_NOTIFY => Request::TriggerNotify { seq, alarm: get_u32(&mut body)? },
+            T_INSTALL => Request::InstallAlarm {
+                seq,
+                alarm: get_u32(&mut body)?,
+                flags: get_u32(&mut body)?,
+                rect: get_rect(&mut body)?,
+            },
+            T_REMOVE => Request::RemoveAlarm { seq, alarm: get_u32(&mut body)? },
+            T_BYE => Request::Bye { seq },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        expect_empty(body)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// True for the frame that completes a request's response sequence
+    /// (everything except [`Response::TriggerDelivery`]).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Response::TriggerDelivery { .. })
+    }
+
+    /// Serializes the frame body (without the length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Response::Ack { seq } => buf.put_u32(head(T_ACK, *seq)),
+            Response::RectInstall { seq, cell, rect } => {
+                buf.put_u32(head(T_RECT, *seq));
+                buf.put_u32(*cell);
+                put_rect(&mut buf, rect);
+            }
+            Response::BitmapInstall { seq, cell, bits } => {
+                buf.put_u32(head(T_BITMAP, *seq));
+                buf.put_u32(*cell);
+                buf.put_u32(bits.len() as u32);
+                buf.put_slice(&bits.to_bytes());
+            }
+            Response::AlarmPush { seq, cell, alarms } => {
+                buf.put_u32(head(T_PUSH, *seq));
+                buf.put_u32(*cell);
+                buf.put_u32(alarms.len() as u32);
+                for a in alarms {
+                    debug_assert!(a.alarm < (1 << 31), "alarm id overflows 31 wire bits");
+                    buf.put_u32(a.alarm | if a.relevant { 1 << 31 } else { 0 });
+                    put_rect(&mut buf, &a.rect);
+                }
+            }
+            Response::TriggerDelivery { seq, alarm } => {
+                buf.put_u32(head(T_DELIVERY, *seq));
+                buf.put_u32(*alarm);
+            }
+            Response::SafePeriodGrant { period_ms } => {
+                debug_assert!(*period_ms <= SEQ_MASK, "period overflows 28 bits");
+                buf.put_u32(head(T_GRANT, *period_ms));
+            }
+            Response::Overloaded { seq } => buf.put_u32(head(T_OVERLOADED, *seq)),
+            Response::Error { seq, code } => {
+                buf.put_u32(head(T_ERROR, *seq));
+                buf.put_u32(*code);
+            }
+        }
+        debug_assert_eq!(buf.len(), self.encoded_len());
+        buf.freeze()
+    }
+
+    /// Exact body length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Response::Ack { .. } => 4,
+            Response::RectInstall { .. } => 24,
+            Response::BitmapInstall { bits, .. } => 12 + bits.len().div_ceil(8),
+            Response::AlarmPush { alarms, .. } => 12 + 20 * alarms.len(),
+            Response::TriggerDelivery { .. } => 8,
+            Response::SafePeriodGrant { .. } => 4,
+            Response::Overloaded { .. } => 4,
+            Response::Error { .. } => 8,
+        }
+    }
+
+    /// The downlink bits the paper's bandwidth model charges for this
+    /// message: the `sa_sim::message::payload` budgets, with the
+    /// region-bearing messages charged `REGION_HEADER_BITS` plus their
+    /// payload formula.
+    pub fn charged_bits(&self) -> usize {
+        match self {
+            Response::RectInstall { .. } => payload::REGION_HEADER_BITS + 128,
+            Response::BitmapInstall { bits, .. } => payload::REGION_HEADER_BITS + bits.len(),
+            Response::AlarmPush { alarms, .. } => {
+                payload::REGION_HEADER_BITS + alarms.len() * payload::ALARM_PUSH_BITS
+            }
+            Response::TriggerDelivery { .. } => payload::TRIGGER_DELIVERY_BITS,
+            Response::SafePeriodGrant { .. } => payload::SAFE_PERIOD_BITS,
+            other => other.encoded_len() * 8,
+        }
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the body is truncated, has trailing
+    /// bytes, carries inconsistent length fields, or does not carry a
+    /// response type.
+    pub fn decode(mut body: &[u8]) -> Result<Response, WireError> {
+        let (ty, seq) = split_head(get_u32(&mut body)?);
+        let resp = match ty {
+            T_ACK => Response::Ack { seq },
+            T_RECT => {
+                Response::RectInstall { seq, cell: get_u32(&mut body)?, rect: get_rect(&mut body)? }
+            }
+            T_BITMAP => {
+                let cell = get_u32(&mut body)?;
+                let bit_len = get_u32(&mut body)? as usize;
+                if body.len() != bit_len.div_ceil(8) {
+                    return Err(WireError::Malformed("bitmap byte length mismatch"));
+                }
+                let bits =
+                    BitVec::from_bytes(body, bit_len).ok_or(WireError::Truncated)?;
+                body = &body[body.len()..];
+                Response::BitmapInstall { seq, cell, bits }
+            }
+            T_PUSH => {
+                let cell = get_u32(&mut body)?;
+                let count = get_u32(&mut body)? as usize;
+                if body.len() != count * 20 {
+                    return Err(WireError::Malformed("alarm push length mismatch"));
+                }
+                let mut alarms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let word = get_u32(&mut body)?;
+                    alarms.push(PushedAlarm {
+                        alarm: word & !(1 << 31),
+                        relevant: word >> 31 == 1,
+                        rect: get_rect(&mut body)?,
+                    });
+                }
+                Response::AlarmPush { seq, cell, alarms }
+            }
+            T_DELIVERY => Response::TriggerDelivery { seq, alarm: get_u32(&mut body)? },
+            T_GRANT => Response::SafePeriodGrant { period_ms: seq },
+            T_OVERLOADED => Response::Overloaded { seq },
+            T_ERROR => Response::Error { seq, code: get_u32(&mut body)? },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        expect_empty(body)?;
+        Ok(resp)
+    }
+}
+
+/// Prepends the length prefix to a frame body.
+pub fn frame(body: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Frames larger than this are rejected by [`read_frame`] (a corrupt
+/// length prefix must not allocate unboundedly).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Reads one length-prefixed frame body from a byte stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a clean EOF before the prefix yields `Ok(None)`,
+/// an EOF mid-frame or an oversized prefix yields `InvalidData`.
+pub fn read_frame(stream: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = stream.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "eof inside frame prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes one length-prefixed frame to a byte stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame(stream: &mut impl std::io::Write, body: &Bytes) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_be_bytes())?;
+    stream.write_all(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = req.encode();
+        assert_eq!(body.len(), req.encoded_len());
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(body.len(), resp.encoded_len());
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn location_update_is_exactly_the_charged_payload() {
+        let req = Request::LocationUpdate { seq: 77, x_fx: 1, y_fx: 2, motion: 3 };
+        assert_eq!(req.encode().len() * 8, payload::LOCATION_UPDATE_BITS);
+        assert_eq!(req.charged_bits(), payload::LOCATION_UPDATE_BITS);
+        round_trip_request(req);
+    }
+
+    #[test]
+    fn trigger_messages_are_exactly_the_charged_payload() {
+        let notify = Request::TriggerNotify { seq: 5, alarm: 9 };
+        assert_eq!(notify.encode().len() * 8, payload::TRIGGER_NOTIFY_BITS);
+        round_trip_request(notify);
+        let delivery = Response::TriggerDelivery { seq: 5, alarm: 9 };
+        assert_eq!(delivery.encode().len() * 8, payload::TRIGGER_DELIVERY_BITS);
+        assert_eq!(delivery.charged_bits(), payload::TRIGGER_DELIVERY_BITS);
+        assert!(!delivery.is_terminal());
+        round_trip_response(delivery);
+    }
+
+    #[test]
+    fn rect_install_is_header_plus_rect_payload() {
+        let resp = Response::RectInstall { seq: 3, cell: 12, rect: [1, 2, 3, 4] };
+        assert_eq!(resp.encode().len() * 8, payload::REGION_HEADER_BITS + 128);
+        assert_eq!(resp.charged_bits(), payload::REGION_HEADER_BITS + 128);
+        assert!(resp.is_terminal());
+        round_trip_response(resp);
+    }
+
+    #[test]
+    fn safe_period_grant_is_one_word() {
+        let resp = Response::SafePeriodGrant { period_ms: 123_456 };
+        assert_eq!(resp.encode().len() * 8, payload::SAFE_PERIOD_BITS);
+        assert_eq!(resp.charged_bits(), payload::SAFE_PERIOD_BITS);
+        round_trip_response(resp);
+    }
+
+    #[test]
+    fn bitmap_install_charges_header_plus_bitmap_size() {
+        let bits: BitVec = (0..82).map(|i| i % 3 == 0).collect();
+        let resp = Response::BitmapInstall { seq: 1, cell: 7, bits: bits.clone() };
+        assert_eq!(resp.charged_bits(), payload::REGION_HEADER_BITS + bits.len());
+        assert_eq!(resp.encoded_len(), 12 + 82usize.div_ceil(8));
+        round_trip_response(resp);
+    }
+
+    #[test]
+    fn alarm_push_charges_header_plus_per_alarm_payload() {
+        let alarms = vec![
+            PushedAlarm { alarm: 3, relevant: true, rect: [1, 2, 3, 4] },
+            PushedAlarm { alarm: 250, relevant: false, rect: [5, 6, 7, 8] },
+        ];
+        let resp = Response::AlarmPush { seq: 2, cell: 4, alarms: alarms.clone() };
+        assert_eq!(
+            resp.charged_bits(),
+            payload::REGION_HEADER_BITS + alarms.len() * payload::ALARM_PUSH_BITS
+        );
+        round_trip_response(resp);
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        round_trip_request(Request::Hello { seq: 1, user: 4, strategy: StrategySpec::Mwpsr });
+        round_trip_request(Request::Hello {
+            seq: 2,
+            user: 4,
+            strategy: StrategySpec::Pbsr { height: 5 },
+        });
+        round_trip_request(Request::Hello { seq: 3, user: 4, strategy: StrategySpec::Opt });
+        round_trip_request(Request::Hello { seq: 4, user: 4, strategy: StrategySpec::SafePeriod });
+        round_trip_request(Request::InstallAlarm {
+            seq: 5,
+            alarm: 61,
+            flags: 0b1,
+            rect: [10, 20, 30, 40],
+        });
+        round_trip_request(Request::RemoveAlarm { seq: 6, alarm: 61 });
+        round_trip_request(Request::Bye { seq: 7 });
+        round_trip_response(Response::Ack { seq: 8 });
+        round_trip_response(Response::Overloaded { seq: 9 });
+        round_trip_response(Response::Error { seq: 10, code: 2 });
+    }
+
+    #[test]
+    fn decode_rejects_wrong_direction_and_garbage() {
+        let req = Request::Bye { seq: 1 }.encode();
+        assert!(matches!(Response::decode(&req), Err(WireError::UnknownType(6))));
+        let resp = Response::Ack { seq: 1 }.encode();
+        assert!(matches!(Request::decode(&resp), Err(WireError::UnknownType(8))));
+        assert_eq!(Request::decode(&[1, 2]), Err(WireError::Truncated));
+        let mut long = Request::Bye { seq: 1 }.encode().to_vec();
+        long.push(0);
+        assert!(matches!(Request::decode(&long), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn bitmap_length_mismatch_is_rejected() {
+        let bits: BitVec = (0..10).map(|i| i % 2 == 0).collect();
+        let mut body = Response::BitmapInstall { seq: 1, cell: 0, bits }.encode().to_vec();
+        body.push(0xFF);
+        assert!(matches!(Response::decode(&body), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn quantization_error_is_sub_micrometer_scale() {
+        for &m in &[0.0, 0.015_3, 999.999, 4_000.0, 31_622.776_6] {
+            let back = dequantize_m(quantize_m(m));
+            assert!((back - m).abs() <= 1.0 / 131_072.0, "{m} → {back}");
+        }
+        let (h, s) = unpack_motion(pack_motion(-1.25, 33.337));
+        assert!((h - (-1.25f64).rem_euclid(std::f64::consts::TAU)).abs() < 1e-4);
+        assert!((s - 33.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frames_survive_a_byte_stream() {
+        let mut wire = Vec::new();
+        let a = Request::LocationUpdate { seq: 1, x_fx: 2, y_fx: 3, motion: 4 }.encode();
+        let b = Request::Bye { seq: 2 }.encode();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut cursor = &wire[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), a.as_ref());
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b.as_ref());
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+}

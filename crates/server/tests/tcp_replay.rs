@@ -1,0 +1,58 @@
+//! End-to-end acceptance: the smoke-test trace replayed over loopback
+//! TCP — real frames, real threads, real backpressure — must fire
+//! exactly the simulator's ground-truth alarm sequence.
+
+use sa_server::wire::StrategySpec;
+use sa_server::{replay_tcp, ReplayConfig, ServerConfig};
+use sa_sim::{SimulationConfig, SimulationHarness};
+
+#[test]
+fn tcp_loopback_replay_fires_exactly_the_ground_truth_sequence() {
+    let harness = SimulationHarness::build(&SimulationConfig::smoke_test());
+    let cfg = ReplayConfig {
+        steps: None, // the full trace
+        server: ServerConfig { num_shards: 3, queue_capacity: 32 },
+        strategies: vec![
+            StrategySpec::Mwpsr,
+            StrategySpec::Pbsr { height: 5 },
+            StrategySpec::Opt,
+            StrategySpec::SafePeriod,
+        ],
+    };
+    let outcome = replay_tcp(&harness, &cfg).expect("loopback transport must hold");
+    outcome.assert_accurate();
+
+    assert_eq!(
+        outcome.fired.len(),
+        harness.ground_truth().events().len(),
+        "every ground-truth firing must be observed exactly once"
+    );
+    assert_eq!(outcome.clients.len(), harness.config().fleet.vehicles);
+
+    // The server actually worked: every client spoke, and the safe
+    // regions suppressed most of the per-step chatter.
+    let uplinks: u64 = outcome.clients.iter().map(|(_, _, s)| s.uplinks).sum();
+    let samples = harness.total_samples();
+    assert!(uplinks > 0);
+    assert!(
+        uplinks < samples / 2,
+        "live safe regions should suppress most samples: {uplinks} of {samples}"
+    );
+    assert_eq!(outcome.server.location_updates, uplinks);
+}
+
+#[test]
+fn tcp_replay_works_at_minimum_queue_capacity() {
+    // A single shard with a one-slot queue: the replay driver serializes
+    // its clients, so this is the tightest configuration that can still
+    // make progress — accuracy must not depend on queue headroom.
+    // (Backpressure itself is exercised by the shard unit tests.)
+    let harness = SimulationHarness::build(&SimulationConfig::smoke_test());
+    let cfg = ReplayConfig {
+        steps: Some(120),
+        server: ServerConfig { num_shards: 1, queue_capacity: 1 },
+        strategies: vec![StrategySpec::Mwpsr, StrategySpec::Pbsr { height: 3 }],
+    };
+    let outcome = replay_tcp(&harness, &cfg).expect("loopback transport must hold");
+    outcome.assert_accurate();
+}

@@ -207,6 +207,17 @@ impl SimulationHarness {
         &self.ground_truth
     }
 
+    /// The generated road network (shared, read-only).
+    pub fn network(&self) -> &RoadNetwork {
+        &self.network
+    }
+
+    /// The maximum speed any vehicle in this world can reach, in m/s —
+    /// the bound the safe-period strategy divides distances by.
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
     /// Total number of location samples in the trace (the message count of
     /// a maximally naive client).
     pub fn total_samples(&self) -> u64 {

@@ -264,8 +264,17 @@ mod tests {
         let table = table_with(&network, &cfg, 100);
         for step in [0u32, 30, 99] {
             let region = table.region_at(0, step);
-            assert_eq!(region.center(), table.target_position(0, step));
-            assert_eq!(region.width(), 400.0);
+            // Re-anchoring computes `center ± half_extent` and `center()`
+            // recomputes `(min + max) / 2`; that round-trip is correct only
+            // to rounding, so compare with an ulp-scale tolerance instead of
+            // exact equality.
+            let target = table.target_position(0, step);
+            assert!(
+                region.center().distance(target) < 1.0e-9,
+                "step {step}: center {:?} drifted from target {target:?}",
+                region.center()
+            );
+            assert!((region.width() - 400.0).abs() < 1.0e-9);
         }
     }
 

@@ -6,6 +6,9 @@ use sa_geometry::{CellId, Rect};
 use sa_roadnet::TraceSample;
 use std::collections::HashMap;
 
+/// Pushed alarm-set entry: `(alarm, region, relevant)`.
+type PushedAlarm = (AlarmId, Rect, bool);
+
 /// OPT — the optimal baseline described at the start of §4: the server
 /// pushes the grid cell and every alarm overlapping it, giving the client
 /// "the complete knowledge of all alarms in its vicinity".
@@ -21,7 +24,7 @@ use std::collections::HashMap;
 pub struct OptimalStrategy {
     /// Per subscriber: current cell and pushed `(alarm, region, relevant)`
     /// entries.
-    sets: HashMap<SubscriberId, (CellId, Vec<(AlarmId, Rect, bool)>)>,
+    sets: HashMap<SubscriberId, (CellId, Vec<PushedAlarm>)>,
 }
 
 impl OptimalStrategy {

@@ -9,6 +9,7 @@
 //! - [`alarms`] — the spatial alarm model and workload generator,
 //! - [`core`] — safe-region computation (MWPSR, GBSR, PBSR),
 //! - [`sim`] — the distributed processing simulation and baselines,
+//! - [`server`] — the live grid-sharded safe-region service runtime,
 //! - [`viz`] — SVG rendering of networks, workloads and safe regions.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the system
@@ -21,5 +22,6 @@ pub use sa_core as core;
 pub use sa_geometry as geometry;
 pub use sa_index as index;
 pub use sa_roadnet as roadnet;
+pub use sa_server as server;
 pub use sa_sim as sim;
 pub use sa_viz as viz;

@@ -1,0 +1,191 @@
+//! Workspace-local subset of `criterion` for offline builds. Keeps the API
+//! the workspace's benches use (`Criterion`, groups, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) but replaces the
+//! statistical engine with a short timed loop: every benchmark runs for a
+//! handful of iterations and prints a mean time. That keeps `cargo test`
+//! (which executes `harness = false` bench targets) fast while still
+//! smoke-testing every benchmark body end to end.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How work is counted for a group (accepted, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the measured closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+/// Iteration budget per benchmark: whichever of these is hit first.
+const MAX_ITERS: u32 = 20;
+const MAX_TIME: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `routine` over a short loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u32;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= MAX_ITERS || start.elapsed() >= MAX_TIME {
+                break;
+            }
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    let ns = bencher.last_ns;
+    if ns >= 1.0e6 {
+        println!("bench {label:<50} {:>12.3} ms", ns / 1.0e6);
+    } else {
+        println!("bench {label:<50} {:>12.1} ns", ns);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work volume (echoed only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's loop is already short.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_bodies_execute() {
+        let mut ran = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("unit/increment", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(4)).sample_size(10);
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function(BenchmarkId::from_parameter("plain"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,403 @@
+//! Workspace-local subset of `crossbeam` for offline builds: MPMC channels
+//! built on `Mutex<VecDeque>` + condvars. Much slower than the real lock-free
+//! implementation under contention, but semantically equivalent for the
+//! operations the workspace uses: `bounded`/`unbounded`, `try_send`/`send`,
+//! `try_recv`/`recv`/`recv_timeout`, clonable endpoints, and disconnect
+//! detection when one side drops.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error of [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the unsent message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True for the [`TrySendError::Full`] variant.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error of [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is ready.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error of [`Receiver::recv`]: every sender is gone and the queue is
+    /// drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error of [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// A channel that holds at most `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(capacity))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without blocking, failing when full or disconnected.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded queue is at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = lock(&self.shared);
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = state.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues, blocking while a bounded queue is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = lock(&self.shared);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = state
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(msg);
+                    drop(state);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True when a bounded queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            let state = lock(&self.shared);
+            state.capacity.is_some_and(|cap| state.queue.len() >= cap)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is ready,
+        /// [`TryRecvError::Disconnected`] when drained with no senders left.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = lock(&self.shared);
+            match state.queue.pop_front() {
+                Some(v) => {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeues, blocking until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when drained with no senders left.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = lock(&self.shared);
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues, blocking up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes,
+        /// [`RecvTimeoutError::Disconnected`] when drained with no senders.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = lock(&self.shared);
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Drains messages until every sender is gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.shared).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.shared).receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.shared);
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.shared);
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_try_send_reports_full_without_blocking() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observable_from_both_sides() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        let (tx, rx) = unbounded::<u32>();
+        tx.try_send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread_delivery_preserves_order() {
+        let (tx, rx) = bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u32>();
+        let err = rx.recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+}

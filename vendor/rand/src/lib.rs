@@ -1,0 +1,353 @@
+//! Workspace-local, dependency-free reimplementation of the subset of the
+//! `rand` 0.8 API this repository uses. The container building this
+//! workspace has no access to crates.io, so the workspace vendors the few
+//! external crates it needs as minimal source-compatible packages.
+//!
+//! Fidelity matters here: the simulation worlds (road networks, alarm
+//! workloads, fleet traces) are generated from seeded `SmallRng` streams,
+//! and several tests assert statistical properties of those worlds. The
+//! implementation therefore mirrors rand 0.8.5 bit-for-bit for the paths in
+//! use:
+//!
+//! - `SmallRng` is xoshiro256++ with the SplitMix64 `seed_from_u64` fill,
+//! - integer `gen_range` uses the widening-multiply rejection sampler,
+//! - float `gen_range` uses the 52-bit mantissa `[1, 2)` mapping,
+//! - `gen_bool` uses the fixed-point Bernoulli comparison.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Converts 52 random mantissa bits into a float in `[1, 2)`.
+#[inline]
+fn mantissa_to_1_2(bits52: u64) -> f64 {
+    f64::from_bits((1023u64 << 52) | bits52)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range {low}..{high}");
+        let scale = high - low;
+        loop {
+            let value1_2 = mantissa_to_1_2(rng.next_u64() >> 12);
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "cannot sample empty range {low}..={high}");
+        // rand 0.8.5 UniformFloat::new_inclusive + sample.
+        let max_rand = mantissa_to_1_2(u64::MAX >> 12) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        while scale * max_rand + low > high {
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+        let value1_2 = mantissa_to_1_2(rng.next_u64() >> 12);
+        (value1_2 - 1.0) * scale + low
+    }
+}
+
+macro_rules! uniform_int_32 {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let range = high.wrapping_sub(low) as u32;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let m = (v as u64).wrapping_mul(range as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high.wrapping_sub(low) as u32).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let m = (v as u64).wrapping_mul(range as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! uniform_int_64 {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let range = high.wrapping_sub(low) as u64;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128).wrapping_mul(range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u64() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128).wrapping_mul(range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_32!(u32);
+uniform_int_32!(i32);
+uniform_int_64!(u64);
+uniform_int_64!(i64);
+uniform_int_64!(usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The small fast generator of rand 0.8 on 64-bit targets:
+    /// xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            // SplitMix64 state fill, as in rand 0.8.5.
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl SmallRng {
+        /// Test-only constructor from raw xoshiro256++ state words.
+        #[doc(hidden)]
+        pub fn from_raw_state(s: [u64; 4]) -> SmallRng {
+            SmallRng { s }
+        }
+
+        /// Test-only view of the raw state words.
+        #[doc(hidden)]
+        pub fn raw_state(&self) -> [u64; 4] {
+            self.s
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The lowest bits have some linear dependencies, so use the
+            // upper bits (matches rand 0.8.5).
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility: the standard generator is not
+    /// cryptographic in this offline build.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    /// Reference vector of the xoshiro256++ engine with state {1, 2, 3, 4},
+    /// produced by the canonical C implementation
+    /// (<https://prng.di.unimi.it/xoshiro256plusplus.c>); identical to the
+    /// vector rand 0.8.5 / rand_xoshiro test against.
+    #[test]
+    fn xoshiro_reference_vector() {
+        let mut rng = SmallRng::from_raw_state([1, 2, 3, 4]);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    /// `seed_from_u64` is SplitMix64; the state fill for seed 0 is the
+    /// canonical SplitMix64 output sequence.
+    #[test]
+    fn seed_fill_is_splitmix64() {
+        let rng = SmallRng::seed_from_u64(0);
+        assert_eq!(
+            rng.raw_state(),
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-3.5..9.25f64);
+            assert!((-3.5..9.25).contains(&f));
+            let g = rng.gen_range(2.0..=3.0f64);
+            assert!((2.0..=3.0).contains(&g));
+            let u = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&u));
+            let s = rng.gen_range(0usize..=3);
+            assert!(s <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((4_000..6_000).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0u32..4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

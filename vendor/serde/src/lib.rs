@@ -1,0 +1,14 @@
+//! Workspace-local serde stub for offline builds: the real serde is not
+//! vendorable in this container, and the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-compatible markers (no
+//! serializer backend is wired up yet). The traits are plain markers and
+//! the derives expand to nothing; swapping the real serde back in later is
+//! a one-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
