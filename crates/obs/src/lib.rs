@@ -1,0 +1,36 @@
+//! sa-obs: the workspace's unified observability substrate.
+//!
+//! The paper's whole evaluation is a measurement story — server CPU per
+//! alarm check, messaging cost, client energy, safe-region hit ratios —
+//! yet before this crate the live runtime exposed four ad-hoc atomic
+//! counters and the simulator kept its own incompatible accounting. This
+//! crate is the single substrate both now publish through:
+//!
+//! * [`Registry`] — named, label-carrying counters / gauges / histograms.
+//!   Registration takes a short lock; every subsequent increment is one
+//!   atomic RMW on a pre-resolved handle, so instrumented hot paths never
+//!   contend on the registry itself.
+//! * [`Histogram`] — log-bucketed (HDR-style) latency histograms with
+//!   lossless small-value buckets, bounded relative error thereafter, and
+//!   p50/p90/p99/max snapshots. Concurrent recorders never lose counts.
+//! * [`TraceRing`] — a per-shard, fixed-capacity, drop-oldest event ring
+//!   with a merged text dump, for post-mortem debugging of replay
+//!   mismatches without a debugger attached.
+//! * [`render`] — the Prometheus text exposition format, used both by the
+//!   wire-level `StatsRequest` scrape and by the offline drivers, so a
+//!   live server and a replay log read identically.
+//!
+//! Everything is std-only by design: any crate in the workspace can adopt
+//! instrumentation without inheriting new synchronization dependencies.
+
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod prometheus;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use prometheus::{render, render_snapshot};
+pub use registry::{Counter, Gauge, MetricKey, Registry, Snapshot};
+pub use trace::{TraceEvent, TraceRing};

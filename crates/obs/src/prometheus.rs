@@ -1,0 +1,127 @@
+//! Prometheus text exposition (version 0.0.4 of the format).
+//!
+//! Counters and gauges render as-is; histograms render as summaries —
+//! `{quantile="…"}` series plus `_sum`, `_count` and a non-standard
+//! `_max` gauge (exact, not bucketed). Durations are recorded in
+//! nanoseconds throughout the workspace, so latency metric names carry a
+//! `_ns` suffix by convention rather than pretending to be seconds.
+//!
+//! The same renderer backs the wire-level `StatsReply` scrape and the
+//! offline drivers, so "what the example printed" and "what the scrape
+//! returned" can be diffed directly.
+
+use crate::registry::{MetricKey, Registry, Snapshot};
+use std::fmt::Write as _;
+
+fn write_labels(out: &mut String, key: &MetricKey, extra: Option<(&str, &str)>) {
+    if key.labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in &key.labels {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+        first = false;
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+    if last.as_deref() != Some(name) {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last = Some(name.to_string());
+    }
+}
+
+/// Renders a snapshot in the Prometheus text format.
+pub fn render_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last: Option<String> = None;
+    for (key, value) in &snap.counters {
+        type_line(&mut out, &mut last, &key.name, "counter");
+        out.push_str(&key.name);
+        write_labels(&mut out, key, None);
+        let _ = writeln!(out, " {value}");
+    }
+    for (key, value) in &snap.gauges {
+        type_line(&mut out, &mut last, &key.name, "gauge");
+        out.push_str(&key.name);
+        write_labels(&mut out, key, None);
+        let _ = writeln!(out, " {value}");
+    }
+    for (key, h) in &snap.histograms {
+        type_line(&mut out, &mut last, &key.name, "summary");
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            out.push_str(&key.name);
+            write_labels(&mut out, key, Some(("quantile", q)));
+            let _ = writeln!(out, " {v}");
+        }
+        for (suffix, v) in [("_sum", h.sum), ("_count", h.count), ("_max", h.max)] {
+            out.push_str(&key.name);
+            out.push_str(suffix);
+            write_labels(&mut out, key, None);
+            let _ = writeln!(out, " {v}");
+        }
+    }
+    out
+}
+
+/// Snapshots `registry` and renders it (see [`render_snapshot`]).
+pub fn render(registry: &Registry) -> String {
+    render_snapshot(&registry.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_all_three_metric_kinds() {
+        let r = Registry::new();
+        r.counter_with("sa_hits_total", &[("kind", "cache")]).add(12);
+        r.gauge_with("sa_depth", &[("shard", "0")]).set(3);
+        let h = r.histogram_with("sa_lat_ns", &[("algo", "mwpsr")]);
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let text = render(&r);
+        assert!(text.contains("# TYPE sa_hits_total counter"));
+        assert!(text.contains("sa_hits_total{kind=\"cache\"} 12"));
+        assert!(text.contains("# TYPE sa_depth gauge"));
+        assert!(text.contains("sa_depth{shard=\"0\"} 3"));
+        assert!(text.contains("# TYPE sa_lat_ns summary"));
+        assert!(text.contains("sa_lat_ns{algo=\"mwpsr\",quantile=\"0.5\"}"));
+        assert!(text.contains("sa_lat_ns_count{algo=\"mwpsr\"} 3"));
+        assert!(text.contains("sa_lat_ns_sum{algo=\"mwpsr\"} 600"));
+        assert!(text.contains("sa_lat_ns_max{algo=\"mwpsr\"} 300"));
+    }
+
+    #[test]
+    fn type_lines_are_emitted_once_per_name() {
+        let r = Registry::new();
+        r.counter_with("sa_q_full_total", &[("shard", "0")]).inc();
+        r.counter_with("sa_q_full_total", &[("shard", "1")]).inc();
+        let text = render(&r);
+        assert_eq!(text.matches("# TYPE sa_q_full_total counter").count(), 1);
+        assert!(text.contains("sa_q_full_total{shard=\"0\"} 1"));
+        assert!(text.contains("sa_q_full_total{shard=\"1\"} 1"));
+    }
+
+    #[test]
+    fn unlabelled_series_have_no_brace_pair() {
+        let r = Registry::new();
+        r.counter("sa_plain_total").add(5);
+        assert!(render(&r).contains("\nsa_plain_total 5\n") || render(&r).starts_with("# TYPE"));
+        assert!(render(&r).contains("sa_plain_total 5"));
+    }
+}

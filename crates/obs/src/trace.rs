@@ -1,0 +1,145 @@
+//! Per-shard event rings for post-mortem debugging.
+//!
+//! Each shard owns a fixed-capacity ring; recording appends and, at
+//! capacity, drops the oldest event — steady-state tracing costs one
+//! short per-shard lock and zero allocation, and a misbehaving shard can
+//! never crowd out its siblings' history. [`TraceRing::dump`] merges all
+//! shards into one time-sorted text log, the thing you paste into a bug
+//! report when a replay diverges from the ground truth.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the ring was created.
+    pub t_us: u64,
+    /// The shard (or pseudo-shard, e.g. the router) that recorded it.
+    pub shard: usize,
+    /// Static event label (`"trigger"`, `"overload"`, …).
+    pub label: &'static str,
+    /// First event operand (meaning depends on `label`).
+    pub a: u64,
+    /// Second event operand.
+    pub b: u64,
+}
+
+/// The per-shard, drop-oldest event rings (see the module docs).
+#[derive(Debug)]
+pub struct TraceRing {
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+    capacity: usize,
+    start: Instant,
+}
+
+impl TraceRing {
+    /// A ring set of `shards` rings holding `capacity` events each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `capacity` is zero.
+    pub fn new(shards: usize, capacity: usize) -> TraceRing {
+        assert!(shards > 0, "need at least one shard ring");
+        assert!(capacity > 0, "rings must hold at least one event");
+        TraceRing {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::with_capacity(capacity))).collect(),
+            capacity,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of per-shard rings.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one event on `shard`'s ring, dropping that ring's oldest
+    /// event when full. Out-of-range shards are clamped to the last ring
+    /// (the router's pseudo-shard) rather than panicking — tracing must
+    /// never take a hot path down.
+    pub fn event(&self, shard: usize, label: &'static str, a: u64, b: u64) {
+        let t_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ring = &self.shards[shard.min(self.shards.len() - 1)];
+        let mut ring = ring.lock().expect("trace ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(TraceEvent { t_us, shard, label, a, b });
+    }
+
+    /// Total events currently retained across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("trace ring poisoned").len()).sum()
+    }
+
+    /// True when nothing has been recorded (or everything dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All retained events merged across shards, time-sorted.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().expect("trace ring poisoned").iter().copied().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|e| e.t_us);
+        all
+    }
+
+    /// The merged text dump: one `+t_us shard label a b` line per event.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!(
+                "+{:>10}us shard={} {:<12} a={} b={}\n",
+                e.t_us, e.shard, e.label, e.a, e.b
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_drop_oldest_per_shard() {
+        let ring = TraceRing::new(2, 3);
+        for i in 0..5 {
+            ring.event(0, "a", i, 0);
+        }
+        ring.event(1, "b", 99, 0);
+        assert_eq!(ring.len(), 4, "shard 0 capped at 3 events, shard 1 holds 1");
+        let events = ring.events();
+        let shard0: Vec<u64> = events.iter().filter(|e| e.shard == 0).map(|e| e.a).collect();
+        assert_eq!(shard0, vec![2, 3, 4], "oldest events dropped first");
+        assert!(events.iter().any(|e| e.shard == 1 && e.a == 99));
+    }
+
+    #[test]
+    fn out_of_range_shards_clamp_instead_of_panicking() {
+        let ring = TraceRing::new(2, 4);
+        ring.event(17, "weird", 1, 2);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].shard, 17, "the event remembers the claimed shard");
+    }
+
+    #[test]
+    fn dump_is_time_sorted_text() {
+        let ring = TraceRing::new(1, 8);
+        ring.event(0, "first", 1, 2);
+        ring.event(0, "second", 3, 4);
+        let dump = ring.dump();
+        let first = dump.find("first").expect("first event present");
+        let second = dump.find("second").expect("second event present");
+        assert!(first < second, "events appear in time order");
+        assert!(dump.contains("a=3 b=4"));
+        assert!(!ring.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Histogram correctness properties.
+//!
+//! 1. For any recorded value sequence, every bucketed quantile estimate
+//!    is within one bucket width of the exact quantile computed from the
+//!    raw values under the same rank rule.
+//! 2. Concurrent recording from 8 threads loses no counts: the bucket
+//!    array, the count cell and the per-bucket totals all agree with the
+//!    number of values recorded.
+
+use proptest::prelude::*;
+use sa_obs::histogram::{exact_quantile, width_at};
+use sa_obs::Histogram;
+use std::sync::Arc;
+
+/// Values spanning the lossless range, the log-bucketed mid range and
+/// the far tail, so quantiles land in buckets of every width class.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..8,
+        8u64..10_000,
+        10_000u64..100_000_000,
+        (0u64..1 << 40).prop_map(|v| v.saturating_mul(16)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bucketed_quantiles_are_within_one_bucket_width(
+        values in prop::collection::vec(value_strategy(), 1..400usize)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for (q, est) in [(0.50, snap.p50), (0.90, snap.p90), (0.99, snap.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            // The estimate is the midpoint of the bucket that holds the
+            // rank, and the exact quantile lies in that same bucket, so
+            // they can differ by at most that bucket's width.
+            let tolerance = width_at(exact);
+            prop_assert!(
+                est.abs_diff(exact) <= tolerance,
+                "q={} estimate {} vs exact {} (tolerance {}) over {} values",
+                q, est, exact, tolerance, values.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sum_is_exact_not_bucketed(
+        values in prop::collection::vec(0u64..1_000_000, 1..200usize)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.snapshot().sum, values.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn concurrent_recording_from_8_threads_loses_no_counts() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // Each thread hits a distinct deterministic value stream so
+                // the threads collide on some buckets and not others.
+                let mut x = (t as u64).wrapping_mul(0x9e37_79b9) | 1;
+                for _ in 0..PER_THREAD {
+                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    h.record(x >> 40);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+    let snap = h.snapshot();
+    assert_eq!(
+        snap.count,
+        THREADS as u64 * PER_THREAD,
+        "bucket totals must account for every recorded value"
+    );
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99, "quantiles are monotone");
+    // p99 is a bucket midpoint, so it may poke past the exact max by at
+    // most the max's own bucket width.
+    assert!(snap.p99 <= snap.max + width_at(snap.max));
+}

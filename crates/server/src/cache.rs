@@ -18,10 +18,12 @@
 
 use parking_lot::RwLock;
 use sa_core::BitmapSafeRegion;
+use sa_obs::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Hit/miss/invalidation counters, readable at any time.
+/// Hit/miss/invalidation snapshot — a thin view over the cache's
+/// `sa-obs` counters, kept so existing callers of
+/// [`RegionCache::stats`] / `Server::cache_stats` don't change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from a current-epoch entry.
@@ -39,21 +41,45 @@ struct Entry {
 }
 
 /// The shared public-bitmap cache (see the module docs).
-#[derive(Debug, Default)]
+///
+/// Counters live on an [`sa_obs::Registry`]: build with
+/// [`RegionCache::with_registry`] to publish them alongside the rest of
+/// a server's metrics (`sa_cache_hits_total` / `sa_cache_misses_total` /
+/// `sa_cache_invalidations_total`), or [`RegionCache::new`] for a
+/// standalone cache with a private registry.
+#[derive(Debug)]
 pub struct RegionCache {
     /// Cell index → alarm-set epoch; absent means epoch 0.
     epochs: RwLock<HashMap<u64, u64>>,
     /// (cell index, pyramid height) → stamped entry.
     entries: RwLock<HashMap<(u64, u32), Entry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+}
+
+impl Default for RegionCache {
+    fn default() -> RegionCache {
+        RegionCache::with_registry(&Registry::new())
+    }
 }
 
 impl RegionCache {
-    /// An empty cache with every cell at epoch 0.
+    /// An empty cache with every cell at epoch 0, counting into a
+    /// private registry.
     pub fn new() -> RegionCache {
         RegionCache::default()
+    }
+
+    /// An empty cache whose counters are registered on `registry`.
+    pub fn with_registry(registry: &Registry) -> RegionCache {
+        RegionCache {
+            epochs: RwLock::new(HashMap::new()),
+            entries: RwLock::new(HashMap::new()),
+            hits: registry.counter("sa_cache_hits_total"),
+            misses: registry.counter("sa_cache_misses_total"),
+            invalidations: registry.counter("sa_cache_invalidations_total"),
+        }
     }
 
     /// The current alarm-set epoch of `cell`.
@@ -70,7 +96,7 @@ impl RegionCache {
         entries.retain(|(c, _), _| *c != cell);
         let dropped = (before - entries.len()) as u64;
         if dropped > 0 {
-            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+            self.invalidations.add(dropped);
         }
     }
 
@@ -81,11 +107,11 @@ impl RegionCache {
         let entries = self.entries.read();
         match entries.get(&(cell, height)) {
             Some(entry) if entry.epoch == current => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(entry.region.clone())
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -112,9 +138,9 @@ impl RegionCache {
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
         }
     }
 }
@@ -153,6 +179,22 @@ mod tests {
         assert_eq!(cache.stats().invalidations, 2);
         assert_eq!(cache.epoch(1), 1);
         assert_eq!(cache.epoch(2), 0);
+    }
+
+    #[test]
+    fn registry_backed_cache_publishes_the_same_counters() {
+        let registry = Registry::new();
+        let cache = RegionCache::with_registry(&registry);
+        cache.lookup(4, 2); // miss
+        cache.insert(4, 2, cache.epoch(4), region(2));
+        cache.lookup(4, 2); // hit
+        cache.bump_epoch(4); // invalidates the entry
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1, invalidations: 1 });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sa_cache_hits_total", &[]), Some(stats.hits));
+        assert_eq!(snap.counter("sa_cache_misses_total", &[]), Some(stats.misses));
+        assert_eq!(snap.counter("sa_cache_invalidations_total", &[]), Some(stats.invalidations));
     }
 
     #[test]

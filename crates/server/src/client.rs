@@ -283,6 +283,9 @@ impl<T: Transport> Client<T> {
             Response::Overloaded { .. } => {
                 return Err(TransportError::Protocol("overload leaked past the retry loop"));
             }
+            Response::Stats { .. } => {
+                return Err(TransportError::Protocol("stats reply to a location update"));
+            }
             Response::Error { .. } => {
                 return Err(TransportError::Protocol("server rejected a location update"));
             }

@@ -10,6 +10,13 @@
 //! strategy mirrors plus a trace replay driver that cross-checks every
 //! firing against the simulator's ground truth ([`client`], [`replay`]).
 //!
+//! Every layer is instrumented through `sa-obs`: one registry per server
+//! holds the cache/shard/router counters, queue-depth gauges, and
+//! latency histograms (shard dispatch wait, per-algorithm safe-region
+//! computation, cache lookup, wire encode/decode, end-to-end update
+//! round trip), scrapeable live over the wire with [`Request::Stats`]
+//! and rendered as Prometheus text.
+//!
 //! The layering, bottom-up:
 //!
 //! ```text

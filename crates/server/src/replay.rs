@@ -18,6 +18,7 @@ use crate::transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport
 use crate::wire::StrategySpec;
 use crate::CacheStats;
 use sa_alarms::SubscriberId;
+use sa_obs::Snapshot;
 use sa_roadnet::Fleet;
 use sa_sim::{FiredEvent, GroundTruth, SimulationHarness};
 use std::sync::Arc;
@@ -62,6 +63,10 @@ pub struct ReplayOutcome {
     pub server: ServerStats,
     /// Safe-region cache counters.
     pub cache: CacheStats,
+    /// Full registry snapshot (every counter, gauge, and histogram),
+    /// captured just before the server shut down. Render with
+    /// [`sa_obs::render_snapshot`] for the Prometheus text form.
+    pub metrics: Snapshot,
     /// Steps actually replayed.
     pub steps: u32,
 }
@@ -150,7 +155,16 @@ where
         .filter(|e| e.step < steps)
         .cloned()
         .collect();
-    let verification = GroundTruth::new(expected).verify(&fired);
+    // On a divergence, append the server's trace-ring dump — the
+    // post-mortem context a bare diff line lacks.
+    let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
+        let dump = server.trace_dump();
+        if dump.is_empty() {
+            e
+        } else {
+            format!("{e}\nserver trace ring:\n{dump}")
+        }
+    });
 
     let outcome = ReplayOutcome {
         fired,
@@ -158,6 +172,7 @@ where
         clients: per_client,
         server: server.stats(),
         cache: server.cache_stats(),
+        metrics: server.registry().snapshot(),
         steps,
     };
     server.shutdown();

@@ -24,9 +24,11 @@ use parking_lot::RwLock;
 use sa_alarms::{AlarmId, AlarmIndex, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
 use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
 use sa_geometry::{CellId, Grid, Point, Rect};
+use sa_obs::{Counter, Histogram, Registry, TraceRing};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Error codes carried by [`Response::Error`].
 pub mod error_code {
@@ -55,7 +57,9 @@ impl Default for ServerConfig {
     }
 }
 
-/// Aggregate counters of one server instance.
+/// Aggregate counter snapshot of one server instance — a thin view over
+/// the server's `sa-obs` registry, kept so existing callers of
+/// [`Server::stats`] don't change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Location updates processed by workers.
@@ -77,12 +81,60 @@ struct Session {
     last_cell: Option<CellId>,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    location_updates: AtomicU64,
-    triggers: AtomicU64,
-    overloads: AtomicU64,
-    region_computations: AtomicU64,
+/// Pre-resolved handles onto the server's registry: one registry lock at
+/// startup, then every hot-path increment is a single atomic RMW.
+#[derive(Debug, Clone)]
+pub(crate) struct ServerMetrics {
+    location_updates: Counter,
+    triggers: Counter,
+    overloads: Counter,
+    region_computations: Counter,
+    /// End-to-end location-update round trip: router entry to worker
+    /// reply received.
+    update_rtt: Histogram,
+    /// One `RegionCache::lookup` call inside the PBSR path.
+    cache_lookup: Histogram,
+    /// Server-side response encoding (used by the transports).
+    pub(crate) wire_encode: Histogram,
+    /// Server-side request decoding (used by the transports).
+    pub(crate) wire_decode: Histogram,
+    /// Safe-region computation latency, labelled per algorithm.
+    mwpsr: Histogram,
+    pbsr: Histogram,
+    opt: Histogram,
+    safe_period: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> ServerMetrics {
+        let compute = |algo: &str| {
+            registry.histogram_with("sa_region_compute_ns", &[("algo", algo)])
+        };
+        ServerMetrics {
+            location_updates: registry.counter("sa_server_location_updates_total"),
+            triggers: registry.counter("sa_server_triggers_total"),
+            overloads: registry.counter("sa_server_overloads_total"),
+            region_computations: registry.counter("sa_server_region_computations_total"),
+            update_rtt: registry.histogram("sa_update_rtt_ns"),
+            cache_lookup: registry.histogram("sa_cache_lookup_ns"),
+            wire_encode: registry.histogram("sa_wire_encode_ns"),
+            wire_decode: registry.histogram("sa_wire_decode_ns"),
+            mwpsr: compute("mwpsr"),
+            pbsr: compute("pbsr"),
+            opt: compute("opt"),
+            safe_period: compute("safe_period"),
+        }
+    }
+
+    /// The per-algorithm safe-region-computation histogram.
+    fn compute_hist(&self, strategy: StrategySpec) -> &Histogram {
+        match strategy {
+            StrategySpec::Mwpsr => &self.mwpsr,
+            StrategySpec::Pbsr { .. } => &self.pbsr,
+            StrategySpec::Opt => &self.opt,
+            StrategySpec::SafePeriod => &self.safe_period,
+        }
+    }
 }
 
 /// Shared state reachable from the router and every worker.
@@ -100,9 +152,18 @@ struct Core {
     fired: RwLock<HashSet<(SubscriberId, AlarmId)>>,
     sessions: RwLock<HashMap<u32, Session>>,
     cache: RegionCache,
-    counters: Counters,
+    /// Every counter/gauge/histogram of this server instance — scrapeable
+    /// over the wire via [`Request::Stats`].
+    registry: Arc<Registry>,
+    metrics: ServerMetrics,
+    /// One ring per shard plus a router pseudo-shard (index
+    /// `num_shards`).
+    tracer: TraceRing,
     next_session: AtomicU32,
 }
+
+/// Ring capacity per shard of the server's [`TraceRing`].
+const TRACE_RING_CAPACITY: usize = 256;
 
 /// The live safe-region service. Build with [`Server::start`], talk to it
 /// through a [`crate::transport::Transport`].
@@ -151,6 +212,8 @@ impl Server {
             }
         }
 
+        let registry = Arc::new(Registry::new());
+        let metrics = ServerMetrics::new(&registry);
         let core = Arc::new(Core {
             num_shards: config.num_shards,
             v_max,
@@ -161,8 +224,12 @@ impl Server {
                 .collect(),
             fired: RwLock::new(HashSet::new()),
             sessions: RwLock::new(HashMap::new()),
-            cache: RegionCache::new(),
-            counters: Counters::default(),
+            cache: RegionCache::with_registry(&registry),
+            metrics,
+            // One extra pseudo-shard ring for router-side events
+            // (overloads, session open/close).
+            tracer: TraceRing::new(config.num_shards + 1, TRACE_RING_CAPACITY),
+            registry,
             next_session: AtomicU32::new(1),
             grid,
         });
@@ -172,7 +239,8 @@ impl Server {
             let responses = worker_core.process(shard, job.session, &job.req);
             let _ = job.reply.send(responses);
         });
-        let pool = ShardPool::spawn(config.num_shards, config.queue_capacity, handler);
+        let pool =
+            ShardPool::spawn(config.num_shards, config.queue_capacity, handler, &core.registry);
         Arc::new(Server { core, pool: RwLock::new(Some(pool)) })
     }
 
@@ -189,17 +257,41 @@ impl Server {
 
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
+        let m = &self.core.metrics;
         ServerStats {
-            location_updates: self.core.counters.location_updates.load(Ordering::Relaxed),
-            triggers: self.core.counters.triggers.load(Ordering::Relaxed),
-            overloads: self.core.counters.overloads.load(Ordering::Relaxed),
-            region_computations: self.core.counters.region_computations.load(Ordering::Relaxed),
+            location_updates: m.location_updates.get(),
+            triggers: m.triggers.get(),
+            overloads: m.overloads.get(),
+            region_computations: m.region_computations.get(),
         }
     }
 
     /// Safe-region cache counter snapshot.
     pub fn cache_stats(&self) -> CacheStats {
         self.core.cache.stats()
+    }
+
+    /// The metrics registry every counter, gauge, and histogram of this
+    /// server (cache, shards, wire, algorithms) is registered on.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.core.registry
+    }
+
+    /// The full metric state rendered in Prometheus text exposition
+    /// format — the same text a [`Request::Stats`] scrape returns.
+    pub fn prometheus(&self) -> String {
+        sa_obs::render(&self.core.registry)
+    }
+
+    /// The merged, time-sorted trace-ring dump (router pseudo-shard is
+    /// index `num_shards`).
+    pub fn trace_dump(&self) -> String {
+        self.core.tracer.dump()
+    }
+
+    /// Pre-resolved metric handles, for the transports' wire timers.
+    pub(crate) fn metrics(&self) -> &ServerMetrics {
+        &self.core.metrics
     }
 
     /// Routes one request and returns its full response sequence: zero or
@@ -223,7 +315,11 @@ impl Server {
                 self.install_alarm(session, seq, alarm, flags, rect)
             }
             Request::RemoveAlarm { seq, alarm } => self.remove_alarm(session, seq, alarm),
+            Request::Stats { seq } => {
+                vec![Response::Stats { seq, text: self.prometheus() }]
+            }
             req @ Request::LocationUpdate { x_fx, y_fx, .. } => {
+                let entered = Instant::now();
                 if !self.core.session_exists(session) {
                     return vec![Response::Error { seq, code: error_code::NO_SESSION }];
                 }
@@ -231,7 +327,7 @@ impl Server {
                 let cell = self.core.grid.cell_of(pos);
                 let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
                 let (reply_tx, reply_rx) = unbounded();
-                let job = Job { session, req, reply: reply_tx };
+                let job = Job::new(session, req, reply_tx);
                 // Submit under the read guard, but wait for the reply
                 // outside it so shutdown() is never blocked behind a
                 // slow worker.
@@ -247,16 +343,24 @@ impl Server {
                 match submitted {
                     Ok(()) => {}
                     Err(SubmitError::Full(_)) => {
-                        self.core.counters.overloads.fetch_add(1, Ordering::Relaxed);
+                        self.core.metrics.overloads.inc();
+                        self.core.tracer.event(
+                            self.core.num_shards,
+                            "overload",
+                            session as u64,
+                            shard as u64,
+                        );
                         return vec![Response::Overloaded { seq }];
                     }
                     Err(SubmitError::Disconnected(_)) => {
                         return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
                     }
                 }
-                reply_rx.recv().unwrap_or_else(|_| {
+                let out = reply_rx.recv().unwrap_or_else(|_| {
                     vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
-                })
+                });
+                self.core.metrics.update_rtt.record_duration(entered.elapsed());
+                out
             }
         }
     }
@@ -297,6 +401,7 @@ impl Server {
             self.core.shard_indexes[shard].write().install(&alarm);
         }
         self.core.bump_cells(region);
+        self.core.tracer.event(self.core.num_shards, "install", alarm.id().0, session as u64);
         vec![Response::Ack { seq }]
     }
 
@@ -321,6 +426,7 @@ impl Server {
             self.core.shard_indexes[shard].write().deactivate(id);
         }
         self.core.bump_cells(region);
+        self.core.tracer.event(self.core.num_shards, "remove", id.0, session as u64);
         vec![Response::Ack { seq }]
     }
 
@@ -405,7 +511,8 @@ impl Core {
             None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
         };
         if self.fired.write().insert((user, AlarmId(alarm as u64))) {
-            self.counters.triggers.fetch_add(1, Ordering::Relaxed);
+            self.metrics.triggers.inc();
+            self.tracer.event(self.num_shards, "trigger", user.0 as u64, alarm as u64);
         }
         vec![Response::Ack { seq }]
     }
@@ -419,7 +526,7 @@ impl Core {
             Some(s) => (s.user, s.strategy),
             None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
         };
-        self.counters.location_updates.fetch_add(1, Ordering::Relaxed);
+        self.metrics.location_updates.inc();
 
         let pos = self.clamped_position(x_fx, y_fx);
         let (heading, _speed) = unpack_motion(motion);
@@ -436,7 +543,8 @@ impl Core {
             let mut fired = self.fired.write();
             for id in triggering {
                 if fired.insert((user, id)) {
-                    self.counters.triggers.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.triggers.inc();
+                    self.tracer.event(shard, "trigger", user.0 as u64, id.0);
                     out.push(Response::TriggerDelivery { seq, alarm: id.0 as u32 });
                 }
             }
@@ -453,9 +561,11 @@ impl Core {
                     .filter(|v| !fired.contains(&v.id))
                     .map(|v| v.region)
                     .collect();
-                self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+                self.metrics.region_computations.inc();
+                let started = Instant::now();
                 let region =
                     MwpsrComputer::non_weighted().compute(pos, heading, cell_rect, &obstacles);
+                self.metrics.compute_hist(strategy).record_duration(started.elapsed());
                 out.push(Response::RectInstall {
                     seq,
                     cell: cell_word,
@@ -476,7 +586,9 @@ impl Core {
                 if prev == Some(cell) && !fired_now {
                     out.push(Response::Ack { seq });
                 } else {
+                    let started = Instant::now();
                     let region = self.pbsr_region(shard, user, cell, cell_rect, height);
+                    self.metrics.compute_hist(strategy).record_duration(started.elapsed());
                     out.push(Response::BitmapInstall {
                         seq,
                         cell: cell_word,
@@ -485,9 +597,10 @@ impl Core {
                 }
             }
             StrategySpec::Opt => {
+                let started = Instant::now();
                 let views = self.shard_indexes[shard].read().all_intersecting(user, cell_rect);
                 let fired = self.fired_for(user);
-                self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+                self.metrics.region_computations.inc();
                 let alarms = views
                     .iter()
                     .filter(|v| !fired.contains(&v.id))
@@ -497,10 +610,12 @@ impl Core {
                         rect: quantize_rect(v.region),
                     })
                     .collect();
+                self.metrics.compute_hist(strategy).record_duration(started.elapsed());
                 out.push(Response::AlarmPush { seq, cell: cell_word, alarms });
             }
             StrategySpec::SafePeriod => {
-                self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+                self.metrics.region_computations.inc();
+                let started = Instant::now();
                 let fired = self.fired_for(user);
                 let (nearest, _) = self
                     .global_index
@@ -509,6 +624,7 @@ impl Core {
                 let universe = self.grid.universe();
                 let max_extent = universe.width().max(universe.height()) * 2.0;
                 let period_s = nearest.unwrap_or(max_extent) / self.v_max;
+                self.metrics.compute_hist(strategy).record_duration(started.elapsed());
                 // Flooring to milliseconds only shortens the silence —
                 // the safe direction.
                 let period_ms = ((period_s * 1_000.0).floor() as u64).min(SEQ_MASK as u64) as u32;
@@ -544,13 +660,16 @@ impl Core {
             // The user's obstacle set is exactly the cell's public set:
             // the cacheable case the paper precomputes offline.
             let cell_index = self.grid.cell_index(cell);
-            if let Some(region) = self.cache.lookup(cell_index, height) {
+            let lookup_started = Instant::now();
+            let cached = self.cache.lookup(cell_index, height);
+            self.metrics.cache_lookup.record_duration(lookup_started.elapsed());
+            if let Some(region) = cached {
                 return region;
             }
             let epoch = self.cache.epoch(cell_index);
             let public: Vec<Rect> =
                 views.iter().filter(|v| v.public).map(|v| v.region).collect();
-            self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+            self.metrics.region_computations.inc();
             let region = computer.compute(cell_rect, &public);
             self.cache.insert(cell_index, height, epoch, region.clone());
             region
@@ -560,7 +679,7 @@ impl Core {
                 .filter(|v| !fired.contains(&v.id))
                 .map(|v| v.region)
                 .collect();
-            self.counters.region_computations.fetch_add(1, Ordering::Relaxed);
+            self.metrics.region_computations.inc();
             computer.compute(cell_rect, &obstacles)
         }
     }

@@ -17,9 +17,11 @@ use crate::wire::{Request, Response};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sa_alarms::{AlarmId, AlarmIndex, SpatialAlarm, SubscriberId};
 use sa_geometry::{Point, Rect};
+use sa_obs::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Deterministic cell → shard mapping over flattened cell indexes.
 pub fn shard_of_index(cell_index: u64, num_shards: usize) -> usize {
@@ -157,6 +159,26 @@ pub struct Job {
     pub req: Request,
     /// Where the worker sends the full response sequence.
     pub reply: Sender<Vec<Response>>,
+    /// When the job entered a shard queue — re-stamped by
+    /// [`ShardPool::try_submit`] so the dispatch-wait histogram measures
+    /// pure queue time.
+    pub enqueued_at: Instant,
+}
+
+impl Job {
+    /// A job stamped now.
+    pub fn new(session: u32, req: Request, reply: Sender<Vec<Response>>) -> Job {
+        Job { session, req, reply, enqueued_at: Instant::now() }
+    }
+}
+
+/// Per-shard instrumentation handles.
+#[derive(Debug, Clone)]
+struct ShardMeter {
+    /// Jobs currently sitting in (or being drained from) the queue.
+    depth: Gauge,
+    /// Submissions bounced because the queue was at capacity.
+    queue_full: Counter,
 }
 
 /// Submission failure modes of [`ShardPool::try_submit`].
@@ -169,51 +191,89 @@ pub enum SubmitError {
 }
 
 /// The worker shards: one bounded queue and (normally) one thread each.
+///
+/// Instrumentation registered on the pool's registry: a
+/// `sa_shard_queue_depth{shard=…}` gauge and a
+/// `sa_shard_queue_full_total{shard=…}` counter per shard — so an
+/// `Overloaded` bounce is attributable to the one shard that was
+/// saturated — plus one `sa_shard_dispatch_wait_ns` histogram of the
+/// submit-to-pickup queue wait.
 #[derive(Debug)]
 pub struct ShardPool {
     senders: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    meters: Vec<ShardMeter>,
+}
+
+fn shard_meters(num_shards: usize, registry: &Registry) -> Vec<ShardMeter> {
+    (0..num_shards)
+        .map(|shard| {
+            let label = shard.to_string();
+            ShardMeter {
+                depth: registry.gauge_with("sa_shard_queue_depth", &[("shard", &label)]),
+                queue_full: registry
+                    .counter_with("sa_shard_queue_full_total", &[("shard", &label)]),
+            }
+        })
+        .collect()
 }
 
 impl ShardPool {
     /// Spawns `num_shards` workers, each draining its own queue of
-    /// capacity `queue_capacity` through `handler(shard, job)`.
+    /// capacity `queue_capacity` through `handler(shard, job)`, with
+    /// queue instrumentation registered on `registry`.
     ///
     /// # Panics
     ///
     /// Panics when `num_shards` or `queue_capacity` is zero.
-    pub fn spawn<H>(num_shards: usize, queue_capacity: usize, handler: Arc<H>) -> ShardPool
+    pub fn spawn<H>(
+        num_shards: usize,
+        queue_capacity: usize,
+        handler: Arc<H>,
+        registry: &Registry,
+    ) -> ShardPool
     where
         H: Fn(usize, Job) + Send + Sync + 'static,
     {
         assert!(num_shards > 0, "need at least one shard");
         assert!(queue_capacity > 0, "queues must hold at least one job");
+        let meters = shard_meters(num_shards, registry);
+        let dispatch_wait = registry.histogram("sa_shard_dispatch_wait_ns");
         let mut senders = Vec::with_capacity(num_shards);
         let mut workers = Vec::with_capacity(num_shards);
-        for shard in 0..num_shards {
+        for (shard, meter) in meters.iter().enumerate() {
             let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(queue_capacity);
             senders.push(tx);
             let handler = Arc::clone(&handler);
+            let depth = meter.depth.clone();
+            let dispatch_wait = dispatch_wait.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("sa-shard-{shard}"))
                     .spawn(move || {
                         for job in rx.iter() {
+                            depth.dec();
+                            dispatch_wait.record_duration(job.enqueued_at.elapsed());
                             handler(shard, job);
                         }
                     })
                     .expect("spawning a shard worker"),
             );
         }
-        ShardPool { senders, workers }
+        ShardPool { senders, workers, meters }
     }
 
     /// A pool with queues but **no worker threads** — nothing ever drains
     /// the queues, so `queue_capacity` submissions fill a shard. Only
     /// useful to test backpressure.
-    pub fn without_workers(num_shards: usize, queue_capacity: usize) -> ShardPool {
+    pub fn without_workers(
+        num_shards: usize,
+        queue_capacity: usize,
+        registry: &Registry,
+    ) -> ShardPool {
         assert!(num_shards > 0, "need at least one shard");
         assert!(queue_capacity > 0, "queues must hold at least one job");
+        let meters = shard_meters(num_shards, registry);
         let mut senders = Vec::with_capacity(num_shards);
         let mut workers = Vec::new();
         for _ in 0..num_shards {
@@ -230,7 +290,7 @@ impl ShardPool {
                     .expect("spawning a parked holder"),
             );
         }
-        ShardPool { senders, workers }
+        ShardPool { senders, workers, meters }
     }
 
     /// Number of shards.
@@ -254,10 +314,17 @@ impl ShardPool {
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
-    pub fn try_submit(&self, shard: usize, job: Job) -> Result<(), SubmitError> {
+    pub fn try_submit(&self, shard: usize, mut job: Job) -> Result<(), SubmitError> {
+        job.enqueued_at = Instant::now();
         match self.senders[shard].try_send(job) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(job)) => Err(SubmitError::Full(job)),
+            Ok(()) => {
+                self.meters[shard].depth.inc();
+                Ok(())
+            }
+            Err(TrySendError::Full(job)) => {
+                self.meters[shard].queue_full.inc();
+                Err(SubmitError::Full(job))
+            }
             Err(TrySendError::Disconnected(job)) => Err(SubmitError::Disconnected(job)),
         }
     }
@@ -330,13 +397,10 @@ mod tests {
 
     #[test]
     fn full_queue_reports_backpressure_without_blocking() {
-        let pool = ShardPool::without_workers(2, 1);
+        let registry = Registry::new();
+        let pool = ShardPool::without_workers(2, 1, &registry);
         let (reply, _keep) = unbounded();
-        let job = |seq| Job {
-            session: 0,
-            req: Request::Bye { seq },
-            reply: reply.clone(),
-        };
+        let job = |seq| Job::new(0, Request::Bye { seq }, reply.clone());
         assert!(pool.try_submit(0, job(1)).is_ok());
         let start = std::time::Instant::now();
         match pool.try_submit(0, job(2)) {
@@ -360,21 +424,18 @@ mod tests {
                 .reply
                 .send(vec![Response::Error { seq: job.req.seq(), code: shard as u32 }]);
         });
-        let pool = ShardPool::spawn(3, 4, handler);
+        let registry = Registry::new();
+        let pool = ShardPool::spawn(3, 4, handler, &registry);
         assert_eq!(pool.num_shards(), 3);
         let (reply_tx, reply_rx) = unbounded();
         for shard in 0..3 {
             pool.try_submit(
                 shard,
-                Job {
-                    session: 1,
-                    req: Request::Hello {
-                        seq: shard as u32,
-                        user: 0,
-                        strategy: StrategySpec::Mwpsr,
-                    },
-                    reply: reply_tx.clone(),
-                },
+                Job::new(
+                    1,
+                    Request::Hello { seq: shard as u32, user: 0, strategy: StrategySpec::Mwpsr },
+                    reply_tx.clone(),
+                ),
             )
             .unwrap();
         }
@@ -386,6 +447,54 @@ mod tests {
             .collect();
         codes.sort_unstable();
         assert_eq!(codes, vec![0, 1, 2]);
+        // After the drain every depth gauge is back to zero and the
+        // dispatch-wait histogram saw all three jobs.
+        let snap = registry.snapshot();
+        for shard in ["0", "1", "2"] {
+            assert_eq!(snap.gauge("sa_shard_queue_depth", &[("shard", shard)]), Some(0));
+        }
+        assert_eq!(
+            snap.histogram("sa_shard_dispatch_wait_ns", &[]).map(|h| h.count),
+            Some(3)
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn saturating_one_shard_spikes_only_its_gauge() {
+        const CAPACITY: usize = 5;
+        let registry = Registry::new();
+        let pool = ShardPool::without_workers(3, CAPACITY, &registry);
+        let (reply, _keep) = unbounded();
+        // Fill shard 1 to capacity, then push two more over the brim.
+        for seq in 0..CAPACITY as u32 {
+            pool.try_submit(1, Job::new(0, Request::Bye { seq }, reply.clone())).unwrap();
+        }
+        for seq in 0..2 {
+            match pool.try_submit(1, Job::new(0, Request::Bye { seq: 100 + seq }, reply.clone())) {
+                Err(SubmitError::Full(_)) => {}
+                other => panic!("expected Full, got {other:?}"),
+            }
+        }
+        // One stray job on shard 2 so "only shard 1 spikes" is tested
+        // against a non-idle sibling, not an empty pool.
+        pool.try_submit(2, Job::new(0, Request::Bye { seq: 7 }, reply.clone())).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.gauge("sa_shard_queue_depth", &[("shard", "1")]),
+            Some(CAPACITY as i64),
+            "the saturated shard's gauge shows a full queue"
+        );
+        assert_eq!(snap.gauge("sa_shard_queue_depth", &[("shard", "0")]), Some(0));
+        assert_eq!(snap.gauge("sa_shard_queue_depth", &[("shard", "2")]), Some(1));
+        assert_eq!(
+            snap.counter("sa_shard_queue_full_total", &[("shard", "1")]),
+            Some(2),
+            "both bounces are charged to the saturated shard"
+        );
+        assert_eq!(snap.counter("sa_shard_queue_full_total", &[("shard", "0")]), Some(0));
+        assert_eq!(snap.counter("sa_shard_queue_full_total", &[("shard", "2")]), Some(0));
         pool.shutdown();
     }
 }

@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Failure while exchanging one request.
 #[derive(Debug)]
@@ -84,10 +85,15 @@ impl Transport for InProcTransport {
     fn request(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
         // Round-trip the request through the codec before the server
         // sees it — the in-proc path must not skip quantization.
+        let decode_started = Instant::now();
         let req = Request::decode(&req.encode())?;
+        self.server.metrics().wire_decode.record_duration(decode_started.elapsed());
         let mut out = Vec::new();
         for resp in self.server.handle(self.session, req) {
-            let resp = Response::decode(&resp.encode())?;
+            let encode_started = Instant::now();
+            let bytes = resp.encode();
+            self.server.metrics().wire_encode.record_duration(encode_started.elapsed());
+            let resp = Response::decode(&bytes)?;
             let terminal = resp.is_terminal();
             out.push(resp);
             if terminal {
@@ -167,10 +173,16 @@ fn serve_connection(server: Arc<Server>, mut stream: TcpStream) {
     let session = server.open_session();
     stream.set_nodelay(true).ok();
     while let Ok(Some(body)) = read_frame(&mut stream) {
-        let Ok(req) = Request::decode(&body) else { break };
+        let decode_started = Instant::now();
+        let decoded = Request::decode(&body);
+        server.metrics().wire_decode.record_duration(decode_started.elapsed());
+        let Ok(req) = decoded else { break };
         let mut failed = false;
         for resp in server.handle(session, req) {
-            if write_frame(&mut stream, &resp.encode()).is_err() {
+            let encode_started = Instant::now();
+            let bytes = resp.encode();
+            server.metrics().wire_encode.record_duration(encode_started.elapsed());
+            if write_frame(&mut stream, &bytes).is_err() {
                 failed = true;
                 break;
             }

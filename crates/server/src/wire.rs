@@ -194,6 +194,13 @@ pub enum Request {
         /// Request sequence number (28 bits).
         seq: u32,
     },
+    /// `StatsRequest`: asks for a metrics snapshot. Requires no session —
+    /// a scrape tool connects, asks, disconnects. Answered inline by the
+    /// router with a [`Response::Stats`] carrying the Prometheus text.
+    Stats {
+        /// Request sequence number (28 bits).
+        seq: u32,
+    },
 }
 
 /// Server → client messages. Type nibbles 8–15.
@@ -266,6 +273,15 @@ pub enum Response {
         /// Coarse reason code.
         code: u32,
     },
+    /// `StatsReply`: the server's metrics snapshot in the Prometheus text
+    /// exposition format — the same bytes `sa_obs::render` produces
+    /// locally, so a scrape and an offline dump diff cleanly.
+    Stats {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// Prometheus text (UTF-8).
+        text: String,
+    },
 }
 
 const T_HELLO: u8 = 1;
@@ -274,6 +290,10 @@ const T_NOTIFY: u8 = 3;
 const T_INSTALL: u8 = 4;
 const T_REMOVE: u8 = 5;
 const T_BYE: u8 = 6;
+/// Nibble 7 is the stats scrape in *both* directions: decoding is
+/// direction-aware, so the request decoder reads it as `StatsRequest`
+/// and the response decoder as `StatsReply`.
+const T_STATS: u8 = 7;
 const T_ACK: u8 = 8;
 const T_RECT: u8 = 9;
 const T_BITMAP: u8 = 10;
@@ -346,6 +366,7 @@ impl Request {
                 buf.put_u32(*alarm);
             }
             Request::Bye { seq } => buf.put_u32(head(T_BYE, *seq)),
+            Request::Stats { seq } => buf.put_u32(head(T_STATS, *seq)),
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -360,6 +381,7 @@ impl Request {
             Request::InstallAlarm { .. } => 28,
             Request::RemoveAlarm { .. } => 8,
             Request::Bye { .. } => 4,
+            Request::Stats { .. } => 4,
         }
     }
 
@@ -381,7 +403,8 @@ impl Request {
             | Request::TriggerNotify { seq, .. }
             | Request::InstallAlarm { seq, .. }
             | Request::RemoveAlarm { seq, .. }
-            | Request::Bye { seq } => *seq,
+            | Request::Bye { seq }
+            | Request::Stats { seq } => *seq,
         }
     }
 
@@ -415,6 +438,7 @@ impl Request {
             },
             T_REMOVE => Request::RemoveAlarm { seq, alarm: get_u32(&mut body)? },
             T_BYE => Request::Bye { seq },
+            T_STATS => Request::Stats { seq },
             other => return Err(WireError::UnknownType(other)),
         };
         expect_empty(body)?;
@@ -468,6 +492,11 @@ impl Response {
                 buf.put_u32(head(T_ERROR, *seq));
                 buf.put_u32(*code);
             }
+            Response::Stats { seq, text } => {
+                buf.put_u32(head(T_STATS, *seq));
+                buf.put_u32(text.len() as u32);
+                buf.put_slice(text.as_bytes());
+            }
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -484,6 +513,7 @@ impl Response {
             Response::SafePeriodGrant { .. } => 4,
             Response::Overloaded { .. } => 4,
             Response::Error { .. } => 8,
+            Response::Stats { text, .. } => 8 + text.len(),
         }
     }
 
@@ -550,6 +580,17 @@ impl Response {
             T_GRANT => Response::SafePeriodGrant { period_ms: seq },
             T_OVERLOADED => Response::Overloaded { seq },
             T_ERROR => Response::Error { seq, code: get_u32(&mut body)? },
+            T_STATS => {
+                let byte_len = get_u32(&mut body)? as usize;
+                if body.len() != byte_len {
+                    return Err(WireError::Malformed("stats byte length mismatch"));
+                }
+                let text = std::str::from_utf8(body)
+                    .map_err(|_| WireError::Malformed("stats text is not utf-8"))?
+                    .to_string();
+                body = &body[body.len()..];
+                Response::Stats { seq, text }
+            }
             other => return Err(WireError::UnknownType(other)),
         };
         expect_empty(body)?;
@@ -707,6 +748,31 @@ mod tests {
         round_trip_response(Response::Ack { seq: 8 });
         round_trip_response(Response::Overloaded { seq: 9 });
         round_trip_response(Response::Error { seq: 10, code: 2 });
+    }
+
+    #[test]
+    fn stats_scrape_round_trips_in_both_directions() {
+        round_trip_request(Request::Stats { seq: 11 });
+        round_trip_response(Response::Stats { seq: 11, text: String::new() });
+        round_trip_response(Response::Stats {
+            seq: 12,
+            text: "# TYPE sa_server_location_updates_total counter\n\
+                   sa_server_location_updates_total 42\n"
+                .to_string(),
+        });
+    }
+
+    #[test]
+    fn stats_reply_rejects_bad_lengths_and_non_utf8() {
+        let mut body = Response::Stats { seq: 1, text: "ok".into() }.encode().to_vec();
+        body.push(b'!');
+        assert!(matches!(Response::decode(&body), Err(WireError::Malformed(_))));
+        // Claimed length 1, payload 0xFF: valid length, invalid UTF-8.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(((T_STATS as u32) << 28) | 1).to_be_bytes());
+        bad.extend_from_slice(&1u32.to_be_bytes());
+        bad.push(0xFF);
+        assert!(matches!(Response::decode(&bad), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -127,6 +127,33 @@ impl Metrics {
     pub fn total_server_minutes(&self, model: &ServerCostModel) -> f64 {
         self.alarm_processing_minutes(model) + self.safe_region_minutes(model)
     }
+
+    /// Publishes the counters onto an [`sa_obs::Registry`] as
+    /// `{strategy="…"}`-labelled counters, so a simulator run is
+    /// scrapeable/renderable through the same exposition path as the live
+    /// server. Counters are monotonic: publish a finished run's metrics
+    /// once per registry (publishing twice adds, it does not overwrite).
+    pub fn publish(&self, registry: &sa_obs::Registry, strategy: &str) {
+        let labels = [("strategy", strategy)];
+        let series: [(&str, u64); 10] = [
+            ("sa_sim_uplink_messages_total", self.uplink_messages),
+            ("sa_sim_downlink_messages_total", self.downlink_messages),
+            ("sa_sim_downlink_bits_total", self.downlink_bits),
+            ("sa_sim_client_check_ops_total", self.client_check_ops),
+            ("sa_sim_client_checks_total", self.client_checks),
+            ("sa_sim_samples_total", self.samples),
+            ("sa_sim_triggers_total", self.triggers),
+            ("sa_sim_server_location_updates_total", self.server.location_updates),
+            ("sa_sim_server_region_computations_total", self.server.region_computations),
+            (
+                "sa_sim_server_region_compute_ops_total",
+                self.server.region_compute_ops,
+            ),
+        ];
+        for (name, value) in series {
+            registry.counter_with(name, &labels).add(value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +226,23 @@ mod tests {
     #[should_panic(expected = "duration")]
     fn bandwidth_rejects_zero_duration() {
         sample_metrics().downlink_mbps(0.0);
+    }
+
+    #[test]
+    fn publish_labels_series_by_strategy() {
+        let registry = sa_obs::Registry::new();
+        sample_metrics().publish(&registry, "pbsr");
+        sample_metrics().publish(&registry, "opt");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("sa_sim_uplink_messages_total", &[("strategy", "pbsr")]),
+            Some(100)
+        );
+        assert_eq!(
+            snap.counter("sa_sim_server_region_computations_total", &[("strategy", "opt")]),
+            Some(40)
+        );
+        let text = sa_obs::render_snapshot(&snap);
+        assert!(text.contains("sa_sim_triggers_total{strategy=\"pbsr\"} 7"));
     }
 }

@@ -62,16 +62,10 @@ fn main() {
         );
     }
 
-    let server = outcome.server;
-    let cache = outcome.cache;
-    println!(
-        "\nserver: {} location updates, {} triggers, {} safe-region computations, {} overload bounces",
-        server.location_updates, server.triggers, server.region_computations, server.overloads
-    );
-    println!(
-        "public-bitmap cache: {} hits, {} misses, {} invalidations",
-        cache.hits, cache.misses, cache.invalidations
-    );
+    // The same Prometheus text a live `StatsRequest` scrape returns —
+    // counters, queue gauges, and the per-algorithm latency summaries.
+    println!("\n--- final metric state (Prometheus text exposition) ---");
+    print!("{}", spatial_alarms::obs::render_snapshot(&outcome.metrics));
 
     match &outcome.verification {
         Ok(()) => println!(

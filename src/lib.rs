@@ -8,6 +8,8 @@
 //! - [`roadnet`] — the road-network mobility simulator,
 //! - [`alarms`] — the spatial alarm model and workload generator,
 //! - [`core`] — safe-region computation (MWPSR, GBSR, PBSR),
+//! - [`obs`] — metrics registry, latency histograms, trace rings and the
+//!   Prometheus text exposition,
 //! - [`sim`] — the distributed processing simulation and baselines,
 //! - [`server`] — the live grid-sharded safe-region service runtime,
 //! - [`viz`] — SVG rendering of networks, workloads and safe regions.
@@ -21,6 +23,7 @@ pub use sa_alarms as alarms;
 pub use sa_core as core;
 pub use sa_geometry as geometry;
 pub use sa_index as index;
+pub use sa_obs as obs;
 pub use sa_roadnet as roadnet;
 pub use sa_server as server;
 pub use sa_sim as sim;
