@@ -24,6 +24,7 @@
 //! instrumentation without inheriting new synchronization dependencies.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod histogram;
 pub mod prometheus;

@@ -1,4 +1,4 @@
-//! Client-side strategy mirrors.
+//! Client-side strategy mirrors and the link-resilience state machine.
 //!
 //! Each [`Client`] owns one transport connection and reproduces the
 //! client half of a `sa-sim` strategy over the wire protocol:
@@ -16,19 +16,185 @@
 //! Every alarm firing observed by the client — delivered by the server
 //! or detected locally — is recorded as a [`FiredEvent`] with the step
 //! it happened at, so a replay can be diffed against the simulator's
-//! ground truth.
+//! ground truth. Deliveries are deduplicated by alarm id (alarms fire
+//! once per subscriber), so injected duplicates and resync re-deliveries
+//! never double-record.
+//!
+//! # Resilience: retry → degraded → resync → steady
+//!
+//! With a [`ResiliencePolicy`] enabled, a transient exchange failure
+//! (lost message, timeout, broken link — see
+//! [`TransportError::is_transient`]) no longer aborts the client.
+//! Instead the client walks a four-state machine:
+//!
+//! 1. **Retry** — the unacknowledged uplink is retried up to
+//!    `max_retries` times under capped exponential backoff with jitter
+//!    ([`Backoff`]). Because the first send *may* have been processed
+//!    (only the response lost), every retry is a
+//!    [`Request::Resync`] carrying the client's delivery cursor, so the
+//!    server re-sends any trigger deliveries the downlink swallowed.
+//! 2. **Degraded** — when retries are exhausted the client stops
+//!    talking and monitors **against its last installed safe region**,
+//!    which stays sound by the paper's safe-region invariant: no
+//!    unfired relevant alarm intersects the region, so silence inside
+//!    it can never miss a firing. Samples that *would* have required an
+//!    uplink (region exit, period expiry, cell change) are buffered in
+//!    order with their step numbers; OPT clients keep detecting firings
+//!    locally and buffer the notifies.
+//! 3. **Resync** — every subsequent sample first probes the link once:
+//!    buffered operations are replayed in order (samples as `Resync`
+//!    requests attributed to their *original* steps, notifies as plain
+//!    `TriggerNotify`), recovering both lost deliveries and the
+//!    crossings that happened while disconnected.
+//! 4. **Steady** — once the backlog drains the client is back to
+//!    normal silent-inside-the-region operation.
+//!
+//! What degraded mode does **not** guarantee: alarms installed or
+//! removed *during* the outage are only observed at resync, and the
+//! buffered crossings are reported late in wall-clock terms (their
+//! step attribution stays exact).
 
 use crate::transport::{Transport, TransportError};
 use crate::wire::{
     dequantize_m, pack_motion, quantize_m, PushedAlarm, Request, Response, StrategySpec,
 };
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sa_alarms::{AlarmId, SubscriberId};
 use sa_core::{BitmapSafeRegion, PyramidConfig, SafeRegion as _};
 use sa_geometry::{CellId, Grid, Point, Rect};
+use sa_obs::{Counter, Histogram, Registry};
 use sa_sim::FiredEvent;
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 /// How many times an `Overloaded` bounce is retried before giving up.
 const MAX_OVERLOAD_RETRIES: u32 = 10_000;
+
+/// Reconciliation rounds [`Client::finish`] attempts before declaring
+/// the backlog undeliverable.
+const FINISH_ROUNDS: u32 = 64;
+
+/// Capped exponential backoff with equal jitter, deterministic under a
+/// seeded RNG.
+///
+/// Retry `attempt` (0-based) sleeps a duration drawn uniformly from
+/// `[exp/2, exp]` where `exp = min(cap, base · 2^attempt)` — the
+/// "equal jitter" scheme: never less than half the exponential target
+/// (so retry pressure still decays exponentially) and never more than
+/// the cap (so a long outage cannot push waits unboundedly).
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng: SmallRng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, capped at `cap`, jittered by a
+    /// stream seeded with `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff { base, cap, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The sleep before retry `attempt` (0-based).
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let base_ns = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap_ns = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let scale = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let exp = base_ns.saturating_mul(scale).min(cap_ns);
+        if exp == 0 {
+            return Duration::ZERO;
+        }
+        let half = exp / 2;
+        Duration::from_nanos(self.rng.gen_range(half..=exp))
+    }
+}
+
+/// Knobs of the client's retry/degraded-mode machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Backoff-retried attempts after the initial send before the
+    /// client declares the link down and enters degraded mode.
+    pub max_retries: u32,
+    /// First backoff step.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter stream (keep it distinct per client so
+    /// retries do not synchronize into thundering herds).
+    pub seed: u64,
+}
+
+impl ResiliencePolicy {
+    /// A schedule tuned for the replay drivers: microsecond-scale
+    /// backoff so a chaos run over thousands of exchanges stays fast,
+    /// with enough attempts that an isolated drop almost never
+    /// escalates to degraded mode.
+    pub fn standard(seed: u64) -> ResiliencePolicy {
+        ResiliencePolicy {
+            max_retries: 6,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(2),
+            seed,
+        }
+    }
+}
+
+/// One buffered operation awaiting reconciliation, in arrival order.
+#[derive(Debug, Clone, Copy)]
+enum PendingOp {
+    /// A position sample that required server contact while the link
+    /// was down; replayed as a [`Request::Resync`] attributed to `step`.
+    Sample { step: u32, pos: Point, heading: f64, speed: f64 },
+    /// A locally detected firing (OPT) whose notify could not be sent.
+    Notify { alarm: u32 },
+}
+
+/// The resilience state riding along a client when a
+/// [`ResiliencePolicy`] is enabled.
+#[derive(Debug)]
+struct Resilience {
+    policy: ResiliencePolicy,
+    backoff: Backoff,
+    /// Buffered operations, oldest first.
+    pending: VecDeque<PendingOp>,
+    /// True while the client has given up on the link and buffers.
+    degraded: bool,
+    /// When the current outage was first observed (for the reconnect
+    /// RTT histogram).
+    outage_started: Option<Instant>,
+    /// Simulated seconds spent degraded, not yet flushed to the
+    /// whole-second `sa_client_degraded_seconds` counter.
+    degraded_acc_s: f64,
+}
+
+impl Resilience {
+    fn new(policy: ResiliencePolicy) -> Resilience {
+        Resilience {
+            backoff: Backoff::new(policy.backoff_base, policy.backoff_cap, policy.seed),
+            policy,
+            pending: VecDeque::new(),
+            degraded: false,
+            outage_started: None,
+            degraded_acc_s: 0.0,
+        }
+    }
+}
+
+/// Pre-resolved `sa-obs` handles for the client-side failure metrics
+/// (shared series — every instrumented client of a run aggregates into
+/// them).
+#[derive(Debug, Clone)]
+struct ClientMeter {
+    /// `sa_client_retries_total`.
+    retries: Counter,
+    /// `sa_client_resyncs_total`.
+    resyncs: Counter,
+    /// `sa_client_degraded_seconds` (whole simulated seconds).
+    degraded_seconds: Counter,
+    /// `sa_client_reconnect_rtt_ns` — outage start to backlog drained.
+    reconnect_rtt: Histogram,
+}
 
 /// Per-client message counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +219,19 @@ pub struct ClientStats {
     pub bytes_up: u64,
     /// Encoded response bytes received.
     pub bytes_down: u64,
+    /// Transient-failure retries (backoff attempts), excluding
+    /// overload bounces.
+    pub retries: u64,
+    /// `Resync` requests acknowledged (retry path + reconciliation).
+    pub resyncs: u64,
+    /// Samples processed while the link was degraded.
+    pub degraded_steps: u64,
+    /// Samples buffered for post-reconnect reconciliation.
+    pub buffered_samples: u64,
+    /// Locally detected firings whose notify was buffered.
+    pub buffered_notifies: u64,
+    /// Duplicate trigger deliveries ignored by the dedup gate.
+    pub dup_deliveries: u64,
 }
 
 /// An alarm the server pushed for local monitoring (OPT).
@@ -83,6 +262,14 @@ pub struct Client<T: Transport> {
     state: State,
     seq: u32,
     fired: Vec<FiredEvent>,
+    /// Alarm ids already recorded as fired (delivered or local) — the
+    /// dedup gate that makes duplicate delivery harmless.
+    fired_alarms: HashSet<u32>,
+    /// Alarm ids received as server `TriggerDelivery` frames; its size
+    /// is the delivery cursor a `Resync` advertises.
+    counted_deliveries: HashSet<u32>,
+    resilience: Option<Resilience>,
+    meter: Option<ClientMeter>,
     stats: ClientStats,
 }
 
@@ -114,7 +301,40 @@ impl<T: Transport> Client<T> {
             StrategySpec::Opt => State::Opt { last_cell: None, alarms: Vec::new() },
             StrategySpec::SafePeriod => State::SafePeriod { until: 0 },
         };
-        Ok(Client { transport, user, strategy, grid, dt, state, seq: 0, fired: Vec::new(), stats })
+        Ok(Client {
+            transport,
+            user,
+            strategy,
+            grid,
+            dt,
+            state,
+            seq: 0,
+            fired: Vec::new(),
+            fired_alarms: HashSet::new(),
+            counted_deliveries: HashSet::new(),
+            resilience: None,
+            meter: None,
+            stats,
+        })
+    }
+
+    /// Enables the retry/degraded-mode machinery. Without this, any
+    /// transport failure aborts the client (the pre-chaos behaviour).
+    pub fn enable_resilience(&mut self, policy: ResiliencePolicy) {
+        self.resilience = Some(Resilience::new(policy));
+    }
+
+    /// Registers the client failure metrics (`sa_client_retries_total`,
+    /// `sa_client_resyncs_total`, `sa_client_degraded_seconds`,
+    /// `sa_client_reconnect_rtt_ns`) on `registry`. Instrumented
+    /// clients sharing one registry aggregate into the same series.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.meter = Some(ClientMeter {
+            retries: registry.counter("sa_client_retries_total"),
+            resyncs: registry.counter("sa_client_resyncs_total"),
+            degraded_seconds: registry.counter("sa_client_degraded_seconds"),
+            reconnect_rtt: registry.histogram("sa_client_reconnect_rtt_ns"),
+        });
     }
 
     /// The subscriber this client simulates.
@@ -132,6 +352,17 @@ impl<T: Transport> Client<T> {
         self.stats
     }
 
+    /// True while the client has declared the link down and buffers
+    /// operations instead of exchanging.
+    pub fn is_degraded(&self) -> bool {
+        self.resilience.as_ref().is_some_and(|r| r.degraded)
+    }
+
+    /// Buffered operations awaiting reconciliation.
+    pub fn pending_ops(&self) -> usize {
+        self.resilience.as_ref().map_or(0, |r| r.pending.len())
+    }
+
     /// Every firing observed so far, in observation order.
     pub fn fired(&self) -> &[FiredEvent] {
         &self.fired
@@ -143,12 +374,13 @@ impl<T: Transport> Client<T> {
     }
 
     /// Feeds one position sample; exchanges messages with the server
-    /// exactly when the strategy requires it.
+    /// exactly when the strategy requires it, riding out transient
+    /// transport failures when a [`ResiliencePolicy`] is enabled.
     ///
     /// # Errors
     ///
-    /// Fails when the transport breaks or the server answers outside the
-    /// protocol.
+    /// Fails when the transport breaks non-transiently (or at all,
+    /// without resilience), or the server answers outside the protocol.
     pub fn observe(
         &mut self,
         step: u32,
@@ -156,73 +388,426 @@ impl<T: Transport> Client<T> {
         heading: f64,
         speed: f64,
     ) -> Result<(), TransportError> {
-        let cell = self.grid.cell_of(pos);
-        let uplink_needed = match &self.state {
-            State::Rect { region } => !region.is_some_and(|r| r.contains_point(pos)),
-            State::Bitmap { region } => !region.as_ref().is_some_and(|r| r.contains(pos)),
-            State::Opt { last_cell, .. } => *last_cell != Some(cell),
-            State::SafePeriod { until } => step >= *until,
-        };
+        // While degraded, probe the link once; only a fully drained
+        // backlog returns this sample to normal processing below.
+        if self.is_degraded() && !self.try_reconcile()? {
+            self.degraded_observe(step, pos, heading, speed);
+            return Ok(());
+        }
+        self.steady_observe(step, pos, heading, speed)
+    }
 
-        if !uplink_needed {
+    /// Drains any degraded-mode backlog, retrying with backoff, so a
+    /// replay ends with every buffered crossing reconciled. Call after
+    /// the last [`Client::observe`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a non-transient error, or with
+    /// [`TransportError::TimedOut`] when the link never came back.
+    pub fn finish(&mut self) -> Result<(), TransportError> {
+        if self.resilience.is_none() || !self.is_degraded() {
+            return Ok(());
+        }
+        for attempt in 0..FINISH_ROUNDS {
+            if self.try_reconcile()? {
+                return Ok(());
+            }
+            self.count_retry();
+            let delay = self
+                .resilience
+                .as_mut()
+                .expect("resilience checked above")
+                .backoff
+                .delay(attempt.min(16));
+            std::thread::sleep(delay);
+        }
+        Err(TransportError::TimedOut)
+    }
+
+    /// Steady-state sample processing (the pre-chaos `observe` body,
+    /// with resilient exchanges).
+    fn steady_observe(
+        &mut self,
+        step: u32,
+        pos: Point,
+        heading: f64,
+        speed: f64,
+    ) -> Result<(), TransportError> {
+        let cell = self.grid.cell_of(pos);
+        if !self.uplink_needed(step, pos, cell) {
             // OPT monitors its pushed set locally between cell changes.
-            let locally_fired = match &mut self.state {
-                State::Opt { alarms, .. } => {
-                    let mut hits = Vec::new();
-                    alarms.retain(|a| {
-                        if a.rect.contains_point_strict(pos) {
-                            // A spatially satisfied alarm leaves the set
-                            // whether or not it concerns this user.
-                            if a.relevant {
-                                hits.push(a.id);
+            let locally_fired = self.local_opt_fires(pos);
+            for (i, id) in locally_fired.iter().enumerate() {
+                if self.record_fire(id.0 as u32, step) {
+                    self.stats.client_fires += 1;
+                }
+                match self.resilient_notify(id.0 as u32)? {
+                    true => self.stats.notifies += 1,
+                    false => {
+                        // Link is down: buffer this notify and the rest.
+                        for later in &locally_fired[i..] {
+                            if self.record_fire(later.0 as u32, step) {
+                                self.stats.client_fires += 1;
                             }
-                            false
-                        } else {
-                            true
+                            self.buffer(PendingOp::Notify { alarm: later.0 as u32 });
                         }
-                    });
-                    hits
+                        self.go_degraded();
+                        return Ok(());
+                    }
                 }
-                _ => Vec::new(),
-            };
-            for id in locally_fired {
-                self.fired.push(FiredEvent { subscriber: self.user, alarm: id, step });
-                self.stats.client_fires += 1;
-                let seq = self.next_seq();
-                let resps = self.exchange(Request::TriggerNotify { seq, alarm: id.0 as u32 })?;
-                if !matches!(resps.as_slice(), [Response::Ack { .. }]) {
-                    return Err(TransportError::Protocol("trigger notify was not acknowledged"));
-                }
-                self.stats.notifies += 1;
             }
             return Ok(());
         }
 
+        match self.resilient_uplink(step, pos, heading, speed)? {
+            Some(resps) => {
+                self.stats.uplinks += 1;
+                for resp in resps {
+                    self.absorb(resp, step, cell)?;
+                }
+                Ok(())
+            }
+            None => {
+                // Retries exhausted: this sample still needs the server
+                // — buffer it and fall back to the last safe region.
+                self.buffer(PendingOp::Sample { step, pos, heading, speed });
+                self.go_degraded();
+                // With the server unreachable, the local OPT check must
+                // run even on a cell-changed sample: a boundary-spanning
+                // alarm entered right now would otherwise be detected a
+                // step late. The buffered replay re-fires it server-side
+                // at this same step, so the records agree.
+                for id in self.local_opt_fires(pos) {
+                    if self.record_fire(id.0 as u32, step) {
+                        self.stats.client_fires += 1;
+                    }
+                    self.buffer(PendingOp::Notify { alarm: id.0 as u32 });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Degraded-mode sample processing: monitor against the (stale but
+    /// sound) installed region, buffer everything that would need the
+    /// server.
+    fn degraded_observe(&mut self, step: u32, pos: Point, heading: f64, speed: f64) {
+        self.account_degraded_step();
+        let cell = self.grid.cell_of(pos);
+        if self.uplink_needed(step, pos, cell) {
+            self.buffer(PendingOp::Sample { step, pos, heading, speed });
+        }
+        // Inside the installed region nothing can fire by the
+        // safe-region invariant — except for OPT, whose "region" is the
+        // pushed alarm set, monitored locally exactly as when steady.
+        // The check runs even on buffered (cell-changed) samples: with
+        // no server to evaluate the crossing now, skipping it would
+        // record a boundary-spanning alarm one step late. The buffered
+        // replay re-fires it server-side at this same step, so the
+        // records agree (deliveries dedup).
+        for id in self.local_opt_fires(pos) {
+            if self.record_fire(id.0 as u32, step) {
+                self.stats.client_fires += 1;
+            }
+            self.buffer(PendingOp::Notify { alarm: id.0 as u32 });
+        }
+    }
+
+    /// Whether the current strategy state demands server contact for
+    /// this sample.
+    fn uplink_needed(&self, step: u32, pos: Point, cell: CellId) -> bool {
+        match &self.state {
+            State::Rect { region } => !region.is_some_and(|r| r.contains_point(pos)),
+            State::Bitmap { region } => !region.as_ref().is_some_and(|r| r.contains(pos)),
+            State::Opt { last_cell, .. } => *last_cell != Some(cell),
+            State::SafePeriod { until } => step >= *until,
+        }
+    }
+
+    /// OPT local containment pass: removes spatially satisfied alarms
+    /// from the pushed set and returns the relevant hits.
+    fn local_opt_fires(&mut self, pos: Point) -> Vec<AlarmId> {
+        match &mut self.state {
+            State::Opt { alarms, .. } => {
+                let mut hits = Vec::new();
+                alarms.retain(|a| {
+                    if a.rect.contains_point_strict(pos) {
+                        // A spatially satisfied alarm leaves the set
+                        // whether or not it concerns this user.
+                        if a.relevant {
+                            hits.push(a.id);
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                hits
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Records one firing unless the alarm already fired for this
+    /// client. Returns whether the event was recorded.
+    fn record_fire(&mut self, alarm: u32, step: u32) -> bool {
+        if self.fired_alarms.insert(alarm) {
+            self.fired.push(FiredEvent {
+                subscriber: self.user,
+                alarm: AlarmId(alarm as u64),
+                step,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The uplink for one sample: a plain `LocationUpdate` first, then
+    /// — because the server may have processed a send whose response
+    /// was lost — `Resync` retries under backoff. `Ok(None)` means the
+    /// retry budget is exhausted (enter degraded mode).
+    fn resilient_uplink(
+        &mut self,
+        step: u32,
+        pos: Point,
+        heading: f64,
+        speed: f64,
+    ) -> Result<Option<Vec<Response>>, TransportError> {
         let seq = self.next_seq();
-        let req = Request::LocationUpdate {
+        let first = Request::LocationUpdate {
             seq,
             x_fx: quantize_m(pos.x),
             y_fx: quantize_m(pos.y),
             motion: pack_motion(heading, speed),
         };
-        let resps = self.exchange_with_retry(req)?;
-        self.stats.uplinks += 1;
-        for resp in resps {
-            self.absorb(resp, step, cell)?;
+        match self.exchange_with_retry(first) {
+            Ok(resps) => {
+                self.note_recovery();
+                return Ok(Some(resps));
+            }
+            Err(e) if e.is_transient() && self.resilience.is_some() => self.note_outage(),
+            Err(e) => return Err(e),
         }
-        Ok(())
+        let max_retries = self.resilience.as_ref().expect("checked above").policy.max_retries;
+        for attempt in 0..max_retries {
+            self.count_retry();
+            let delay =
+                self.resilience.as_mut().expect("checked above").backoff.delay(attempt);
+            std::thread::sleep(delay);
+            match self.resync_once(step, pos, heading, speed)? {
+                Some(resps) => return Ok(Some(resps)),
+                None => continue,
+            }
+        }
+        Ok(None)
     }
 
-    /// Applies one response to the client state.
+    /// One `Resync` exchange for a (possibly buffered) sample.
+    /// `Ok(None)` is a transient failure; fatal errors propagate.
+    fn resync_once(
+        &mut self,
+        _step: u32,
+        pos: Point,
+        heading: f64,
+        speed: f64,
+    ) -> Result<Option<Vec<Response>>, TransportError> {
+        let seq = self.next_seq();
+        let req = Request::Resync {
+            seq,
+            x_fx: quantize_m(pos.x),
+            y_fx: quantize_m(pos.y),
+            motion: pack_motion(heading, speed),
+            acked: self.counted_deliveries.len() as u32,
+        };
+        match self.exchange_with_retry(req) {
+            Ok(resps) => {
+                self.stats.resyncs += 1;
+                if let Some(m) = &self.meter {
+                    m.resyncs.inc();
+                }
+                self.note_recovery();
+                Ok(Some(resps))
+            }
+            Err(e) if e.is_transient() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One notify exchange with the transient-retry ladder. Returns
+    /// whether it was acknowledged (false = link down, go degraded).
+    fn resilient_notify(&mut self, alarm: u32) -> Result<bool, TransportError> {
+        let max_retries =
+            self.resilience.as_ref().map_or(0, |r| r.policy.max_retries);
+        let mut attempt = 0;
+        loop {
+            let seq = self.next_seq();
+            match self.exchange_with_retry(Request::TriggerNotify { seq, alarm }) {
+                Ok(resps) => {
+                    if !matches!(resps.as_slice(), [Response::Ack { .. }]) {
+                        return Err(TransportError::Protocol(
+                            "trigger notify was not acknowledged",
+                        ));
+                    }
+                    self.note_recovery();
+                    return Ok(true);
+                }
+                Err(e) if e.is_transient() && self.resilience.is_some() => {
+                    self.note_outage();
+                    if attempt >= max_retries {
+                        return Ok(false);
+                    }
+                    self.count_retry();
+                    let delay = self
+                        .resilience
+                        .as_mut()
+                        .expect("resilience checked above")
+                        .backoff
+                        .delay(attempt);
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One reconciliation probe: replays buffered operations in order,
+    /// one single attempt each. `Ok(true)` when the backlog fully
+    /// drained (back to steady), `Ok(false)` when the link is still
+    /// down.
+    fn try_reconcile(&mut self) -> Result<bool, TransportError> {
+        let had_backlog = self.resilience.as_ref().is_some_and(|r| !r.pending.is_empty());
+        while let Some(op) = self.resilience.as_ref().and_then(|r| r.pending.front().copied()) {
+            let done = match op {
+                PendingOp::Sample { step, pos, heading, speed } => {
+                    match self.resync_once(step, pos, heading, speed)? {
+                        Some(resps) => {
+                            self.stats.uplinks += 1;
+                            let cell = self.grid.cell_of(pos);
+                            for resp in resps {
+                                // Deliveries recovered here are
+                                // attributed to the buffered sample's
+                                // original step.
+                                self.absorb(resp, step, cell)?;
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                PendingOp::Notify { alarm } => {
+                    let seq = self.next_seq();
+                    match self.exchange_with_retry(Request::TriggerNotify { seq, alarm }) {
+                        Ok(resps) => {
+                            if !matches!(resps.as_slice(), [Response::Ack { .. }]) {
+                                return Err(TransportError::Protocol(
+                                    "trigger notify was not acknowledged",
+                                ));
+                            }
+                            self.stats.notifies += 1;
+                            true
+                        }
+                        Err(e) if e.is_transient() => false,
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            if !done {
+                return Ok(false);
+            }
+            self.resilience
+                .as_mut()
+                .expect("resilience holds a pending op")
+                .pending
+                .pop_front();
+        }
+        if let Some(r) = self.resilience.as_mut() {
+            r.degraded = false;
+        }
+        // An empty backlog proves nothing about the link; leave the
+        // outage open until a real exchange succeeds.
+        if had_backlog {
+            self.note_recovery();
+        }
+        Ok(true)
+    }
+
+    /// Buffers one operation for reconciliation.
+    fn buffer(&mut self, op: PendingOp) {
+        match op {
+            PendingOp::Sample { .. } => self.stats.buffered_samples += 1,
+            PendingOp::Notify { .. } => self.stats.buffered_notifies += 1,
+        }
+        self.resilience
+            .as_mut()
+            .expect("buffering requires a resilience policy")
+            .pending
+            .push_back(op);
+    }
+
+    /// Declares the link down; the entering step counts as degraded.
+    fn go_degraded(&mut self) {
+        if let Some(r) = self.resilience.as_mut() {
+            r.degraded = true;
+        }
+        self.account_degraded_step();
+    }
+
+    /// Adds one sample period to the degraded-time accounting.
+    fn account_degraded_step(&mut self) {
+        self.stats.degraded_steps += 1;
+        let Some(r) = self.resilience.as_mut() else { return };
+        r.degraded_acc_s += self.dt;
+        if let Some(m) = &self.meter {
+            while r.degraded_acc_s >= 1.0 {
+                m.degraded_seconds.inc();
+                r.degraded_acc_s -= 1.0;
+            }
+        }
+    }
+
+    /// Marks the start of an outage (first transient failure).
+    fn note_outage(&mut self) {
+        if let Some(r) = self.resilience.as_mut() {
+            r.outage_started.get_or_insert_with(Instant::now);
+        }
+    }
+
+    /// Marks recovery; records the outage duration into the reconnect
+    /// RTT histogram.
+    fn note_recovery(&mut self) {
+        let Some(r) = self.resilience.as_mut() else { return };
+        if let Some(started) = r.outage_started.take() {
+            if let Some(m) = &self.meter {
+                m.reconnect_rtt.record_duration(started.elapsed());
+            }
+        }
+    }
+
+    /// Counts one transient-failure retry.
+    fn count_retry(&mut self) {
+        self.stats.retries += 1;
+        if let Some(m) = &self.meter {
+            m.retries.inc();
+        }
+    }
+
+    /// Applies one response to the client state. Deliveries are
+    /// attributed to `step` and deduplicated by alarm id.
     fn absorb(&mut self, resp: Response, step: u32, cell: CellId) -> Result<(), TransportError> {
         match resp {
             Response::TriggerDelivery { alarm, .. } => {
-                self.fired.push(FiredEvent {
-                    subscriber: self.user,
-                    alarm: AlarmId(alarm as u64),
-                    step,
-                });
-                self.stats.deliveries += 1;
+                // The delivery cursor advances on every distinct
+                // server delivery, even when the firing was already
+                // known locally (OPT).
+                self.counted_deliveries.insert(alarm);
+                if self.record_fire(alarm, step) {
+                    self.stats.deliveries += 1;
+                } else {
+                    self.stats.dup_deliveries += 1;
+                }
             }
             Response::RectInstall { rect, .. } => {
                 let region = Rect::new(
@@ -328,5 +913,56 @@ impl<T: Transport> Client<T> {
             return Ok(resps);
         }
         Err(TransportError::Protocol("server stayed overloaded"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_under_a_seed() {
+        let mut a = Backoff::new(Duration::from_millis(1), Duration::from_millis(100), 7);
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(100), 7);
+        let sa: Vec<Duration> = (0..12).map(|i| a.delay(i)).collect();
+        let sb: Vec<Duration> = (0..12).map(|i| b.delay(i)).collect();
+        assert_eq!(sa, sb, "same seed must give the same schedule");
+        let mut c = Backoff::new(Duration::from_millis(1), Duration::from_millis(100), 8);
+        let sc: Vec<Duration> = (0..12).map(|i| c.delay(i)).collect();
+        assert_ne!(sa, sc, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_within_the_envelope() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(64);
+        let mut b = Backoff::new(base, cap, 42);
+        for attempt in 0..40 {
+            let exp = (base * 2u32.saturating_pow(attempt.min(20))).min(cap);
+            let d = b.delay(attempt);
+            assert!(d <= exp, "attempt {attempt}: {d:?} above envelope {exp:?}");
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} below half-envelope {exp:?}");
+            assert!(d <= cap, "attempt {attempt}: {d:?} exceeds the cap");
+        }
+        // Attempt numbers beyond the shift width must not panic or
+        // overflow past the cap.
+        assert!(b.delay(200) <= cap);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_before_the_cap() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_secs(3600), 1);
+        // Lower bounds double per attempt: delay(n) >= 2^n * base / 2.
+        for attempt in 0..10u32 {
+            let floor = Duration::from_micros(500) * 2u32.pow(attempt);
+            assert!(b.delay(attempt) >= floor);
+        }
+    }
+
+    #[test]
+    fn zero_base_schedules_zero_delay() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_secs(1), 3);
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(63), Duration::ZERO);
     }
 }

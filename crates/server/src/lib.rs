@@ -8,7 +8,7 @@
 //! safe-region bitmaps ([`cache`]), two interchangeable transports —
 //! in-process and loopback TCP ([`transport`]) — and client-side
 //! strategy mirrors plus a trace replay driver that cross-checks every
-//! firing against the simulator's ground truth ([`client`], [`replay`]).
+//! firing against the simulator's ground truth ([`client`], [`mod@replay`]).
 //!
 //! Every layer is instrumented through `sa-obs`: one registry per server
 //! holds the cache/shard/router counters, queue-depth gauges, and
@@ -17,11 +17,21 @@
 //! round trip), scrapeable live over the wire with [`Request::Stats`]
 //! and rendered as Prometheus text.
 //!
+//! The runtime is failure-aware end to end ([`chaos`]): transports can
+//! be wrapped in a deterministic fault injector (drops, duplicates,
+//! delays, disconnect windows), clients ride out transient failures
+//! with capped jittered backoff and a documented degraded mode backed
+//! by the safe-region invariant, and a [`wire::Request::Resync`]
+//! exchange recovers lost trigger deliveries from the server's
+//! per-session delivery log.
+//!
 //! The layering, bottom-up:
 //!
 //! ```text
+//! chaos   ── FaultyTransport decorator + chaos replay harness
 //! replay  ── drives clients over a sa-roadnet trace, verifies vs GroundTruth
 //! client  ── per-strategy mirrors (MWPSR / PBSR / OPT / safe-period)
+//!            + retry → degraded → resync → steady resilience machine
 //! transport ─ InProc | Tcp, both framing through the wire codec
 //! server  ── router + sessions; LocationUpdate → bounded shard queues
 //! shard   ── ShardIndex (global↔local alarm ids) + ShardPool workers
@@ -29,7 +39,10 @@
 //! wire    ── Request/Response codec, sizes == sa-sim payload constants
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod replay;
 pub mod server;
@@ -38,9 +51,13 @@ pub mod transport;
 pub mod wire;
 
 pub use cache::{CacheStats, RegionCache};
-pub use client::{Client, ClientStats};
+pub use chaos::{
+    chaos_replay_in_proc, ChaosConfig, ChaosControls, ChaosOutcome, FaultLeg, FaultPlan,
+    FaultyTransport, InjectedCounts,
+};
+pub use client::{Backoff, Client, ClientStats, ResiliencePolicy};
 pub use replay::{replay, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome};
 pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
 pub use shard::{shard_of_index, ShardIndex, ShardPool};
-pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport};
+pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};
 pub use wire::{Request, Response, StrategySpec, WireError};

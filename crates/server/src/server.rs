@@ -79,6 +79,13 @@ struct Session {
     /// The last cell a bitmap/push was issued for (PBSR quick-update and
     /// OPT cell-transition bookkeeping).
     last_cell: Option<CellId>,
+    /// Every alarm a `TriggerDelivery` was generated for on this
+    /// session, in generation order. Each alarm appears at most once
+    /// (the fired-set gate), so a [`Request::Resync`] carrying a
+    /// delivery cursor of `acked` recovers exactly the suffix
+    /// `delivery_log[acked..]` — the deliveries a lossy downlink may
+    /// have swallowed.
+    delivery_log: Vec<u32>,
 }
 
 /// Pre-resolved handles onto the server's registry: one registry lock at
@@ -89,6 +96,10 @@ pub(crate) struct ServerMetrics {
     triggers: Counter,
     overloads: Counter,
     region_computations: Counter,
+    /// `Resync` requests processed by workers.
+    resyncs: Counter,
+    /// Trigger deliveries re-sent from a session's delivery log.
+    redeliveries: Counter,
     /// End-to-end location-update round trip: router entry to worker
     /// reply received.
     update_rtt: Histogram,
@@ -115,6 +126,8 @@ impl ServerMetrics {
             triggers: registry.counter("sa_server_triggers_total"),
             overloads: registry.counter("sa_server_overloads_total"),
             region_computations: registry.counter("sa_server_region_computations_total"),
+            resyncs: registry.counter("sa_server_resyncs_total"),
+            redeliveries: registry.counter("sa_server_redeliveries_total"),
             update_rtt: registry.histogram("sa_update_rtt_ns"),
             cache_lookup: registry.histogram("sa_cache_lookup_ns"),
             wire_encode: registry.histogram("sa_wire_encode_ns"),
@@ -302,7 +315,12 @@ impl Server {
             Request::Hello { seq, user, strategy } => {
                 self.core.sessions.write().insert(
                     session,
-                    Session { user: SubscriberId(user), strategy, last_cell: None },
+                    Session {
+                        user: SubscriberId(user),
+                        strategy,
+                        last_cell: None,
+                        delivery_log: Vec::new(),
+                    },
                 );
                 vec![Response::Ack { seq }]
             }
@@ -318,7 +336,9 @@ impl Server {
             Request::Stats { seq } => {
                 vec![Response::Stats { seq, text: self.prometheus() }]
             }
-            req @ Request::LocationUpdate { x_fx, y_fx, .. } => {
+            req @ (Request::LocationUpdate { .. } | Request::Resync { .. }) => {
+                let (x_fx, y_fx) =
+                    req.position_fx().expect("position-bearing requests carry coordinates");
                 let entered = Instant::now();
                 if !self.core.session_exists(session) {
                     return vec![Response::Error { seq, code: error_code::NO_SESSION }];
@@ -517,10 +537,17 @@ impl Core {
         vec![Response::Ack { seq }]
     }
 
-    /// The shard-worker entry point: evaluate one location update.
+    /// The shard-worker entry point: evaluate one location update or
+    /// post-failure resync.
     fn process(&self, shard: usize, session: u32, req: &Request) -> Vec<Response> {
-        let &Request::LocationUpdate { seq, x_fx, y_fx, motion } = req else {
-            return vec![Response::Error { seq: req.seq(), code: error_code::BAD_REQUEST }];
+        let (seq, x_fx, y_fx, motion, resync_acked) = match *req {
+            Request::LocationUpdate { seq, x_fx, y_fx, motion } => {
+                (seq, x_fx, y_fx, motion, None)
+            }
+            Request::Resync { seq, x_fx, y_fx, motion, acked } => {
+                (seq, x_fx, y_fx, motion, Some(acked))
+            }
+            _ => return vec![Response::Error { seq: req.seq(), code: error_code::BAD_REQUEST }],
         };
         let (user, strategy) = match self.sessions.read().get(&session) {
             Some(s) => (s.user, s.strategy),
@@ -534,22 +561,48 @@ impl Core {
         let cell_rect = self.grid.cell_rect(cell);
         let cell_word = self.grid.cell_index(cell) as u32;
 
+        let mut out = Vec::new();
+        if let Some(acked) = resync_acked {
+            // A resync is never an error, whatever state the session is
+            // in: re-send the deliveries past the client's cursor (lost
+            // on a broken downlink) and drop the quick-update shortcut
+            // so the terminal response reinstalls a full region.
+            self.metrics.resyncs.inc();
+            self.tracer.event(shard, "resync", session as u64, acked as u64);
+            let mut sessions = self.sessions.write();
+            if let Some(s) = sessions.get_mut(&session) {
+                s.last_cell = None;
+                for &alarm in s.delivery_log.get(acked as usize..).unwrap_or(&[]) {
+                    self.metrics.redeliveries.inc();
+                    out.push(Response::TriggerDelivery { seq, alarm });
+                }
+            }
+        }
+
         // Server-side trigger check against the shard-local index; the
         // triggering alarm contains `pos`, hence intersects `cell`, hence
         // is owned by this shard.
         let triggering = self.shard_indexes[shard].read().triggering_at(user, pos);
-        let mut out = Vec::new();
+        let mut newly_fired = Vec::new();
         if !triggering.is_empty() {
             let mut fired = self.fired.write();
             for id in triggering {
                 if fired.insert((user, id)) {
                     self.metrics.triggers.inc();
                     self.tracer.event(shard, "trigger", user.0 as u64, id.0);
-                    out.push(Response::TriggerDelivery { seq, alarm: id.0 as u32 });
+                    newly_fired.push(id.0 as u32);
                 }
             }
         }
-        let fired_now = !out.is_empty();
+        if !newly_fired.is_empty() {
+            // First-time firings join the session's delivery log so a
+            // later resync can recover them if this response is lost.
+            if let Some(s) = self.sessions.write().get_mut(&session) {
+                s.delivery_log.extend_from_slice(&newly_fired);
+            }
+            out.extend(newly_fired.iter().map(|&alarm| Response::TriggerDelivery { seq, alarm }));
+        }
+        let fired_now = !newly_fired.is_empty();
 
         match strategy {
             StrategySpec::Mwpsr => {

@@ -29,9 +29,27 @@ pub enum TransportError {
     Wire(WireError),
     /// The peer closed the connection mid-exchange.
     Closed,
+    /// The exchange was sent but no acknowledgement arrived in time —
+    /// either leg may have been lost, so the sender must assume the
+    /// server *may* have processed the request (retry with
+    /// [`crate::wire::Request::Resync`], not a blind resend).
+    TimedOut,
     /// The peer answered with something the protocol does not allow
     /// here (e.g. an `Error` response to a well-formed update).
     Protocol(&'static str),
+}
+
+impl TransportError {
+    /// True for failures a retry can plausibly cure (lost or timed-out
+    /// exchanges, broken links). Wire garbage and protocol violations
+    /// are deterministic: retrying reproduces them, so the client
+    /// escalates instead of looping.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Io(_) | TransportError::Closed | TransportError::TimedOut
+        )
+    }
 }
 
 impl std::fmt::Display for TransportError {
@@ -40,6 +58,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
             TransportError::Wire(e) => write!(f, "wire error: {e}"),
             TransportError::Closed => write!(f, "connection closed mid-exchange"),
+            TransportError::TimedOut => write!(f, "exchange timed out awaiting a response"),
             TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }

@@ -201,6 +201,27 @@ pub enum Request {
         /// Request sequence number (28 bits).
         seq: u32,
     },
+    /// Post-failure recovery update: a [`Request::LocationUpdate`] whose
+    /// sender suspects it missed responses. The server (a) re-delivers
+    /// every session-scoped [`Response::TriggerDelivery`] past the
+    /// client's `acked` cursor before any new deliveries, and (b) skips
+    /// the quick-update shortcut so the terminal response always carries
+    /// a full, fresh safe region — a stale-epoch resync after a
+    /// disconnect window is a first-class request here, never an error.
+    Resync {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// X coordinate, Q16.16 meters.
+        x_fx: u32,
+        /// Y coordinate, Q16.16 meters.
+        y_fx: u32,
+        /// Packed heading/speed (see [`pack_motion`]).
+        motion: u32,
+        /// Number of deliveries of this session the client has already
+        /// received (its delivery cursor); the server re-sends its
+        /// session delivery log from this offset.
+        acked: u32,
+    },
 }
 
 /// Server → client messages. Type nibbles 8–15.
@@ -284,6 +305,11 @@ pub enum Response {
     },
 }
 
+/// Nibble 0 is the post-failure resync update — the only request type
+/// left once 1–7 were taken. An all-zero head word therefore parses as
+/// `Resync { seq: 0 }`, but the fixed body layout and the trailing-bytes
+/// check still reject random garbage.
+const T_RESYNC: u8 = 0;
 const T_HELLO: u8 = 1;
 const T_LOCATION: u8 = 2;
 const T_NOTIFY: u8 = 3;
@@ -367,6 +393,13 @@ impl Request {
             }
             Request::Bye { seq } => buf.put_u32(head(T_BYE, *seq)),
             Request::Stats { seq } => buf.put_u32(head(T_STATS, *seq)),
+            Request::Resync { seq, x_fx, y_fx, motion, acked } => {
+                buf.put_u32(head(T_RESYNC, *seq));
+                buf.put_u32(*x_fx);
+                buf.put_u32(*y_fx);
+                buf.put_u32(*motion);
+                buf.put_u32(*acked);
+            }
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -382,6 +415,7 @@ impl Request {
             Request::RemoveAlarm { .. } => 8,
             Request::Bye { .. } => 4,
             Request::Stats { .. } => 4,
+            Request::Resync { .. } => 20,
         }
     }
 
@@ -391,6 +425,10 @@ impl Request {
         match self {
             Request::LocationUpdate { .. } => payload::LOCATION_UPDATE_BITS,
             Request::TriggerNotify { .. } => payload::TRIGGER_NOTIFY_BITS,
+            // A resync is a location update plus the 32-bit delivery
+            // cursor; the model has no budget for recovery traffic, so
+            // charge what the wire actually carries.
+            Request::Resync { .. } => payload::LOCATION_UPDATE_BITS + 32,
             other => other.encoded_len() * 8,
         }
     }
@@ -404,7 +442,19 @@ impl Request {
             | Request::InstallAlarm { seq, .. }
             | Request::RemoveAlarm { seq, .. }
             | Request::Bye { seq }
-            | Request::Stats { seq } => *seq,
+            | Request::Stats { seq }
+            | Request::Resync { seq, .. } => *seq,
+        }
+    }
+
+    /// The quantized position carried by this request, when it has one
+    /// (location updates and resyncs — the requests the router ships to a
+    /// shard).
+    pub fn position_fx(&self) -> Option<(u32, u32)> {
+        match self {
+            Request::LocationUpdate { x_fx, y_fx, .. }
+            | Request::Resync { x_fx, y_fx, .. } => Some((*x_fx, *y_fx)),
+            _ => None,
         }
     }
 
@@ -439,6 +489,13 @@ impl Request {
             T_REMOVE => Request::RemoveAlarm { seq, alarm: get_u32(&mut body)? },
             T_BYE => Request::Bye { seq },
             T_STATS => Request::Stats { seq },
+            T_RESYNC => Request::Resync {
+                seq,
+                x_fx: get_u32(&mut body)?,
+                y_fx: get_u32(&mut body)?,
+                motion: get_u32(&mut body)?,
+                acked: get_u32(&mut body)?,
+            },
             other => return Err(WireError::UnknownType(other)),
         };
         expect_empty(body)?;
@@ -748,6 +805,23 @@ mod tests {
         round_trip_response(Response::Ack { seq: 8 });
         round_trip_response(Response::Overloaded { seq: 9 });
         round_trip_response(Response::Error { seq: 10, code: 2 });
+    }
+
+    #[test]
+    fn resync_is_a_location_update_plus_the_cursor() {
+        let req = Request::Resync { seq: 44, x_fx: 9, y_fx: 8, motion: 7, acked: 3 };
+        assert_eq!(req.encoded_len(), 20);
+        assert_eq!(req.charged_bits(), payload::LOCATION_UPDATE_BITS + 32);
+        assert_eq!(req.position_fx(), Some((9, 8)));
+        round_trip_request(req);
+        // An all-zero head parses as Resync seq 0, but only with the
+        // exact fixed body behind it.
+        assert_eq!(
+            Request::decode(&[0u8; 20]).unwrap(),
+            Request::Resync { seq: 0, x_fx: 0, y_fx: 0, motion: 0, acked: 0 }
+        );
+        assert_eq!(Request::decode(&[0u8; 8]), Err(WireError::Truncated));
+        assert!(matches!(Request::decode(&[0u8; 24]), Err(WireError::Malformed(_))));
     }
 
     #[test]
