@@ -3,11 +3,22 @@
 //! computation for public alarms can be performed offline and shared by
 //! all users in the cell").
 //!
-//! Entries are keyed by `(cell index, pyramid height)` and stamped with
-//! the cell's **alarm-set epoch**, a counter bumped whenever an alarm
-//! intersecting the cell is installed or removed. A lookup only hits when
-//! the stamped epoch equals the cell's current epoch, so mutations
-//! invalidate exactly the affected cells without any global flush.
+//! Entries are keyed **per cell first** (`cell → {pyramid height →
+//! entry}`) and stamped with the cell's **alarm-set epoch**, a counter
+//! bumped whenever an alarm intersecting the cell is installed or
+//! removed. A lookup only hits when the stamped epoch equals the cell's
+//! current epoch, so mutations invalidate exactly the affected cells
+//! without any global flush — and because a cell's entries live in one
+//! inner map, [`RegionCache::bump_epoch`] drops them in O(entries of
+//! that cell) rather than scanning the whole cache (an install storm
+//! must not stall every reader behind a full-map retain under the write
+//! lock).
+//!
+//! Inserts are validated against the cell's *current* epoch: a bitmap
+//! computed while an install raced in is already stale, can never hit,
+//! and is **rejected** instead of stored (counted as
+//! `sa_cache_evictions_total`), so racing installs cannot grow the map
+//! with dead entries.
 //!
 //! Cached bitmaps are computed from *all* public alarms in the cell,
 //! ignoring per-user fired state. For a user none of whose public alarms
@@ -32,6 +43,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped because their cell's epoch moved.
     pub invalidations: u64,
+    /// Stale inserts rejected (or stale leftovers replaced) against the
+    /// cell's current epoch.
+    pub evictions: u64,
 }
 
 #[derive(Debug)]
@@ -45,17 +59,19 @@ struct Entry {
 /// Counters live on an [`sa_obs::Registry`]: build with
 /// [`RegionCache::with_registry`] to publish them alongside the rest of
 /// a server's metrics (`sa_cache_hits_total` / `sa_cache_misses_total` /
-/// `sa_cache_invalidations_total`), or [`RegionCache::new`] for a
-/// standalone cache with a private registry.
+/// `sa_cache_invalidations_total` / `sa_cache_evictions_total`), or
+/// [`RegionCache::new`] for a standalone cache with a private registry.
 #[derive(Debug)]
 pub struct RegionCache {
     /// Cell index → alarm-set epoch; absent means epoch 0.
     epochs: RwLock<HashMap<u64, u64>>,
-    /// (cell index, pyramid height) → stamped entry.
-    entries: RwLock<HashMap<(u64, u32), Entry>>,
+    /// Cell index → (pyramid height → stamped entry). The per-cell inner
+    /// map is what makes epoch bumps O(cell), not O(cache).
+    entries: RwLock<HashMap<u64, HashMap<u32, Entry>>>,
     hits: Counter,
     misses: Counter,
     invalidations: Counter,
+    evictions: Counter,
 }
 
 impl Default for RegionCache {
@@ -79,6 +95,7 @@ impl RegionCache {
             hits: registry.counter("sa_cache_hits_total"),
             misses: registry.counter("sa_cache_misses_total"),
             invalidations: registry.counter("sa_cache_invalidations_total"),
+            evictions: registry.counter("sa_cache_evictions_total"),
         }
     }
 
@@ -88,15 +105,14 @@ impl RegionCache {
     }
 
     /// Bumps `cell`'s epoch (an alarm intersecting it was installed or
-    /// removed) and drops the cell's now-stale entries.
+    /// removed) and drops the cell's now-stale entries. Touches only the
+    /// bumped cell's slot — entries of every other cell are left alone.
     pub fn bump_epoch(&self, cell: u64) {
         *self.epochs.write().entry(cell).or_insert(0) += 1;
-        let mut entries = self.entries.write();
-        let before = entries.len();
-        entries.retain(|(c, _), _| *c != cell);
-        let dropped = (before - entries.len()) as u64;
-        if dropped > 0 {
-            self.invalidations.add(dropped);
+        if let Some(dropped) = self.entries.write().remove(&cell) {
+            if !dropped.is_empty() {
+                self.invalidations.add(dropped.len() as u64);
+            }
         }
     }
 
@@ -105,7 +121,7 @@ impl RegionCache {
     pub fn lookup(&self, cell: u64, height: u32) -> Option<BitmapSafeRegion> {
         let current = self.epoch(cell);
         let entries = self.entries.read();
-        match entries.get(&(cell, height)) {
+        match entries.get(&cell).and_then(|heights| heights.get(&height)) {
             Some(entry) if entry.epoch == current => {
                 self.hits.inc();
                 Some(entry.region.clone())
@@ -117,22 +133,40 @@ impl RegionCache {
         }
     }
 
-    /// Stores a bitmap computed while the cell was at `epoch`. Stale
-    /// inserts (the epoch moved during the computation) are stored but can
-    /// never hit, so a racing install keeps correctness without any
-    /// compute-side locking.
+    /// Stores a bitmap computed while the cell was at `epoch`.
+    ///
+    /// An insert stamped with an epoch the cell has already moved past
+    /// is dead on arrival (it could never hit) and is rejected rather
+    /// than stored, counted as an eviction; likewise a store that
+    /// replaces a stale leftover counts the reclamation. Either way a
+    /// racing install keeps correctness without any compute-side
+    /// locking, and repeated races leave the cache size bounded by the
+    /// number of *live* `(cell, height)` pairs.
     pub fn insert(&self, cell: u64, height: u32, epoch: u64, region: BitmapSafeRegion) {
-        self.entries.write().insert((cell, height), Entry { epoch, region });
+        let current = self.epoch(cell);
+        if epoch != current {
+            // The epoch moved while the bitmap was being computed: the
+            // entry is already unservable, reclaim it immediately.
+            self.evictions.inc();
+            return;
+        }
+        let mut entries = self.entries.write();
+        let slot = entries.entry(cell).or_default();
+        if let Some(prev) = slot.insert(height, Entry { epoch, region }) {
+            if prev.epoch != epoch {
+                self.evictions.inc();
+            }
+        }
     }
 
-    /// Number of live entries (stale or not).
+    /// Number of live entries across all cells.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().values().map(HashMap::len).sum()
     }
 
     /// True when no entries are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries.read().values().all(HashMap::is_empty)
     }
 
     /// Snapshot of the counters.
@@ -141,6 +175,7 @@ impl RegionCache {
             hits: self.hits.get(),
             misses: self.misses.get(),
             invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
         }
     }
 }
@@ -163,7 +198,10 @@ mod tests {
         assert!(cache.lookup(3, 2).is_none());
         cache.insert(3, 2, cache.epoch(3), region(2));
         assert!(cache.lookup(3, 2).is_some());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, invalidations: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 1, invalidations: 0, evictions: 0 }
+        );
     }
 
     #[test]
@@ -182,6 +220,27 @@ mod tests {
     }
 
     #[test]
+    fn bump_leaves_other_cells_entries_untouched() {
+        // Regression for the O(total entries) retain: a bump of one cell
+        // must neither drop nor invalidate any other cell's entries.
+        let cache = RegionCache::new();
+        for cell in 0..64u64 {
+            cache.insert(cell, 2, 0, region(2));
+            cache.insert(cell, 4, 0, region(4));
+        }
+        assert_eq!(cache.len(), 128);
+        cache.bump_epoch(17);
+        assert_eq!(cache.len(), 126, "only cell 17's two entries may drop");
+        assert_eq!(cache.stats().invalidations, 2);
+        for cell in (0..64u64).filter(|&c| c != 17) {
+            assert!(cache.lookup(cell, 2).is_some(), "cell {cell} height 2 must survive");
+            assert!(cache.lookup(cell, 4).is_some(), "cell {cell} height 4 must survive");
+        }
+        assert!(cache.lookup(17, 2).is_none());
+        assert!(cache.lookup(17, 4).is_none());
+    }
+
+    #[test]
     fn registry_backed_cache_publishes_the_same_counters() {
         let registry = Registry::new();
         let cache = RegionCache::with_registry(&registry);
@@ -189,27 +248,51 @@ mod tests {
         cache.insert(4, 2, cache.epoch(4), region(2));
         cache.lookup(4, 2); // hit
         cache.bump_epoch(4); // invalidates the entry
+        cache.insert(4, 2, 0, region(2)); // stale insert → eviction
         let stats = cache.stats();
-        assert_eq!(stats, CacheStats { hits: 1, misses: 1, invalidations: 1 });
+        assert_eq!(
+            stats,
+            CacheStats { hits: 1, misses: 1, invalidations: 1, evictions: 1 }
+        );
         let snap = registry.snapshot();
         assert_eq!(snap.counter("sa_cache_hits_total", &[]), Some(stats.hits));
         assert_eq!(snap.counter("sa_cache_misses_total", &[]), Some(stats.misses));
         assert_eq!(snap.counter("sa_cache_invalidations_total", &[]), Some(stats.invalidations));
+        assert_eq!(snap.counter("sa_cache_evictions_total", &[]), Some(stats.evictions));
     }
 
     #[test]
-    fn stale_insert_can_never_hit() {
+    fn stale_insert_is_rejected_not_stored() {
         let cache = RegionCache::new();
         let epoch_at_compute_start = cache.epoch(5);
         // An install lands while the bitmap is being computed…
         cache.bump_epoch(5);
-        // …so the stamped insert is already stale and must miss.
+        // …so the stamped insert is already stale: rejected, reclaimed.
         cache.insert(5, 2, epoch_at_compute_start, region(2));
         assert!(cache.lookup(5, 2).is_none());
+        assert!(cache.is_empty(), "a stale insert must not be stored");
+        assert_eq!(cache.stats().evictions, 1);
         // Re-computing at the current epoch hits again.
         cache.insert(5, 2, cache.epoch(5), region(2));
         assert!(cache.lookup(5, 2).is_some());
         assert!(!cache.is_empty());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn racing_installs_leave_len_bounded() {
+        // A (compute → install lands → stale insert) race repeated many
+        // times must not grow the cache: stale inserts are rejected, and
+        // the one live entry per (cell, height) is the only survivor.
+        let cache = RegionCache::new();
+        for _ in 0..100 {
+            let epoch = cache.epoch(9);
+            cache.bump_epoch(9); // racing install
+            cache.insert(9, 5, epoch, region(5)); // stale: rejected
+            cache.insert(9, 5, cache.epoch(9), region(5)); // fresh
+        }
+        assert_eq!(cache.len(), 1, "repeated races must not leak entries");
+        assert_eq!(cache.stats().evictions, 100);
+        assert!(cache.lookup(9, 5).is_some());
     }
 }

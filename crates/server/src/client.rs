@@ -56,7 +56,8 @@
 
 use crate::transport::{Transport, TransportError};
 use crate::wire::{
-    dequantize_m, pack_motion, quantize_m, PushedAlarm, Request, Response, StrategySpec,
+    dequantize_m, pack_motion, quantize_m, BatchedUpdate, PushedAlarm, Request, Response,
+    StrategySpec,
 };
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sa_alarms::{AlarmId, SubscriberId};
@@ -250,6 +251,14 @@ enum State {
     SafePeriod { until: u32 },
 }
 
+/// Context of an uplink staged by [`Client::poll_update`], consumed when
+/// [`Client::complete_update`] absorbs the batch round trip.
+#[derive(Debug, Clone, Copy)]
+struct PendingBatch {
+    step: u32,
+    cell: CellId,
+}
+
 /// One simulated mobile client bound to a strategy and a transport.
 pub struct Client<T: Transport> {
     transport: T,
@@ -271,6 +280,9 @@ pub struct Client<T: Transport> {
     resilience: Option<Resilience>,
     meter: Option<ClientMeter>,
     stats: ClientStats,
+    /// Set between a [`Client::poll_update`] that staged an uplink and
+    /// the [`Client::complete_update`] that absorbs its responses.
+    pending_batch: Option<PendingBatch>,
 }
 
 impl<T: Transport> Client<T> {
@@ -315,6 +327,7 @@ impl<T: Transport> Client<T> {
             resilience: None,
             meter: None,
             stats,
+            pending_batch: None,
         })
     }
 
@@ -423,6 +436,90 @@ impl<T: Transport> Client<T> {
             std::thread::sleep(delay);
         }
         Err(TransportError::TimedOut)
+    }
+
+    /// Stages one position sample for a **batched** exchange instead of
+    /// exchanging inline: returns the [`BatchedUpdate`] entry to put in
+    /// the step's [`Request::Batch`] when the strategy demands server
+    /// contact, `None` when the sample is silent. OPT local firings are
+    /// still detected (and notified on this client's own transport —
+    /// they are rare and must reach the server before the next batch).
+    ///
+    /// The caller must feed the entry's response group back through
+    /// [`Client::complete_update`] before polling the next step. The
+    /// batch path assumes a reliable transport (no [`ResiliencePolicy`]
+    /// machinery runs here).
+    ///
+    /// # Errors
+    ///
+    /// Fails when an OPT notify cannot be exchanged or is rejected.
+    pub fn poll_update(
+        &mut self,
+        session: u32,
+        step: u32,
+        pos: Point,
+        heading: f64,
+        speed: f64,
+    ) -> Result<Option<BatchedUpdate>, TransportError> {
+        debug_assert!(
+            self.pending_batch.is_none(),
+            "complete_update must absorb the previous step before the next poll"
+        );
+        let cell = self.grid.cell_of(pos);
+        if !self.uplink_needed(step, pos, cell) {
+            for id in self.local_opt_fires(pos) {
+                if self.record_fire(id.0 as u32, step) {
+                    self.stats.client_fires += 1;
+                }
+                if !self.resilient_notify(id.0 as u32)? {
+                    return Err(TransportError::Protocol("notify failed on the batch path"));
+                }
+                self.stats.notifies += 1;
+            }
+            return Ok(None);
+        }
+        let seq = self.next_seq();
+        let update = BatchedUpdate {
+            session,
+            seq,
+            x_fx: quantize_m(pos.x),
+            y_fx: quantize_m(pos.y),
+            motion: pack_motion(heading, speed),
+        };
+        // 20 bytes: the entry's exact footprint inside the batch frame.
+        self.stats.bytes_up += 20;
+        self.pending_batch = Some(PendingBatch { step, cell });
+        Ok(Some(update))
+    }
+
+    /// Absorbs the response group a batched update produced. Returns
+    /// `false` when the terminal response was `Overloaded` — the staged
+    /// state stays pending and the caller must re-send the same entry
+    /// (its retransmission bytes are charged here).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no update is pending, the group is empty, or a
+    /// response is outside the protocol.
+    pub fn complete_update(&mut self, responses: Vec<Response>) -> Result<bool, TransportError> {
+        let pending = self
+            .pending_batch
+            .ok_or(TransportError::Protocol("no batched update pending"))?;
+        if responses.is_empty() {
+            return Err(TransportError::Protocol("empty batch response group"));
+        }
+        self.stats.bytes_down += responses.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        if matches!(responses.last(), Some(Response::Overloaded { .. })) {
+            self.stats.overload_retries += 1;
+            self.stats.bytes_up += 20;
+            return Ok(false);
+        }
+        self.pending_batch = None;
+        self.stats.uplinks += 1;
+        for resp in responses {
+            self.absorb(resp, pending.step, pending.cell)?;
+        }
+        Ok(true)
     }
 
     /// Steady-state sample processing (the pre-chaos `observe` body,
@@ -873,6 +970,9 @@ impl<T: Transport> Client<T> {
             }
             Response::Error { .. } => {
                 return Err(TransportError::Protocol("server rejected a location update"));
+            }
+            Response::Batch { .. } => {
+                return Err(TransportError::Protocol("batch reply to a per-request exchange"));
             }
         }
         Ok(())

@@ -29,7 +29,8 @@
 //!
 //! ```text
 //! chaos   ── FaultyTransport decorator + chaos replay harness
-//! replay  ── drives clients over a sa-roadnet trace, verifies vs GroundTruth
+//! replay  ── drives clients over a sa-roadnet trace (per-request or
+//!            batched multi-worker), verifies vs GroundTruth
 //! client  ── per-strategy mirrors (MWPSR / PBSR / OPT / safe-period)
 //!            + retry → degraded → resync → steady resilience machine
 //! transport ─ InProc | Tcp, both framing through the wire codec
@@ -56,7 +57,9 @@ pub use chaos::{
     FaultyTransport, InjectedCounts,
 };
 pub use client::{Backoff, Client, ClientStats, ResiliencePolicy};
-pub use replay::{replay, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome};
+pub use replay::{
+    replay, replay_batched_in_proc, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome,
+};
 pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
 pub use shard::{shard_of_index, ShardIndex, ShardPool};
 pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};

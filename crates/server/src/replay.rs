@@ -15,7 +15,7 @@
 use crate::client::{Client, ClientStats};
 use crate::server::{Server, ServerConfig, ServerStats};
 use crate::transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};
-use crate::wire::StrategySpec;
+use crate::wire::{BatchReply, BatchedUpdate, Request, Response, StrategySpec, SEQ_MASK};
 use crate::CacheStats;
 use sa_alarms::SubscriberId;
 use sa_obs::Snapshot;
@@ -191,6 +191,223 @@ pub fn replay_in_proc(
     replay(harness, cfg, |server| Ok(InProcTransport::connect(Arc::clone(server))))
 }
 
+/// Hard cap on entries per [`Request::Batch`] frame, keeping the worst
+/// case reply frame (a height-5 bitmap install for *every* entry) well
+/// under [`crate::wire::MAX_FRAME_LEN`].
+const MAX_BATCH_ENTRIES: usize = 1024;
+
+/// Overload retry rounds per step before a batch worker gives up.
+const MAX_BATCH_ROUNDS: u32 = 10_000;
+
+/// The multi-worker batched replay: splits the fleet into `workers`
+/// contiguous vehicle-id ranges (the [`Fleet::with_id_range`] sharding —
+/// each shard reproduces exactly its slice of the full trace), drives
+/// each range on its own thread, and submits each worker's step as
+/// [`Request::Batch`] frames over in-proc transport instead of one
+/// request/RTT per vehicle. Firings are still cross-checked against the
+/// simulator's [`GroundTruth`] exactly.
+///
+/// Free-running workers are sound because alarms fire per (subscriber,
+/// alarm): one vehicle's firings never depend on another vehicle's
+/// position, so worker skew cannot change what fires or when. Within a
+/// worker, each client completes its step-`n` responses before polling
+/// step `n + 1`, preserving per-client strategy semantics.
+///
+/// # Errors
+///
+/// Fails when a transport breaks, the server answers outside the batch
+/// protocol, or a shard queue stays overloaded past the retry budget.
+///
+/// # Panics
+///
+/// Panics when the harness was built with moving-target alarms.
+pub fn replay_batched_in_proc(
+    harness: &SimulationHarness,
+    cfg: &ReplayConfig,
+    workers: usize,
+) -> Result<ReplayOutcome, TransportError> {
+    assert!(
+        harness.moving_alarms().is_none(),
+        "the live wire protocol carries static alarms only"
+    );
+    assert!(!cfg.strategies.is_empty(), "need at least one strategy to assign");
+
+    let config = harness.config();
+    let dt = config.sample_period_s;
+    let steps = cfg.steps.unwrap_or(config.steps() as u32).min(config.steps() as u32);
+    let server = Server::start(
+        harness.grid().clone(),
+        harness.index().alarms().to_vec(),
+        harness.v_max(),
+        cfg.server,
+    );
+
+    // One contiguous vehicle range per worker, like the simulator's own
+    // parallel replay.
+    let vehicles = config.fleet.vehicles as u32;
+    let workers = (workers.max(1) as u32).min(vehicles.max(1));
+    let base = vehicles / workers;
+    let extra = vehicles % workers;
+    let mut ranges = Vec::with_capacity(workers as usize);
+    let mut start = 0u32;
+    for w in 0..workers {
+        let len = base + u32::from(w < extra);
+        if len > 0 {
+            ranges.push(start..start + len);
+            start += len;
+        }
+    }
+
+    let results: Result<Vec<_>, TransportError> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || batch_worker(&server, harness, cfg, range, steps, dt))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+    });
+    let results = results?;
+
+    let mut fired = Vec::new();
+    let mut per_client = Vec::new();
+    for (worker_fired, worker_clients) in results {
+        fired.extend(worker_fired);
+        per_client.extend(worker_clients);
+    }
+
+    let expected: Vec<FiredEvent> = harness
+        .ground_truth()
+        .events()
+        .iter()
+        .filter(|e| e.step < steps)
+        .cloned()
+        .collect();
+    let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
+        let dump = server.trace_dump();
+        if dump.is_empty() {
+            e
+        } else {
+            format!("{e}\nserver trace ring:\n{dump}")
+        }
+    });
+
+    let outcome = ReplayOutcome {
+        fired,
+        verification,
+        clients: per_client,
+        server: server.stats(),
+        cache: server.cache_stats(),
+        metrics: server.registry().snapshot(),
+        steps,
+    };
+    server.shutdown();
+    Ok(outcome)
+}
+
+/// One worker of [`replay_batched_in_proc`]: drives the vehicles of
+/// `range` over its own driver connection, one batch exchange per step
+/// (chunked at [`MAX_BATCH_ENTRIES`]).
+fn batch_worker(
+    server: &Arc<Server>,
+    harness: &SimulationHarness,
+    cfg: &ReplayConfig,
+    range: std::ops::Range<u32>,
+    steps: u32,
+    dt: f64,
+) -> Result<WorkerOutcome, TransportError> {
+    let mut sessions = Vec::with_capacity(range.len());
+    let mut clients: Vec<Client<InProcTransport>> = range
+        .clone()
+        .map(|v| {
+            let strategy = cfg.strategies[v as usize % cfg.strategies.len()];
+            let transport = InProcTransport::connect(Arc::clone(server));
+            sessions.push(transport.session());
+            Client::connect(transport, SubscriberId(v), strategy, harness.grid().clone(), dt)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut driver = InProcTransport::connect(Arc::clone(server));
+    let mut fleet = Fleet::with_id_range(harness.network(), &harness.config().fleet, range.clone());
+    let mut samples = Vec::new();
+    let mut batch_seq = 0u32;
+
+    for step in 0..steps {
+        fleet.step_into(dt, &mut samples);
+        let mut entries: Vec<BatchedUpdate> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new();
+        for s in &samples {
+            let local = (s.vehicle.0 - range.start) as usize;
+            if let Some(entry) =
+                clients[local].poll_update(sessions[local], step, s.pos, s.heading, s.speed)?
+            {
+                entries.push(entry);
+                owners.push(local);
+            }
+        }
+        // Exchange (and re-exchange overloaded entries) until the step
+        // is fully absorbed — every client must complete step `step`
+        // before any polls `step + 1`.
+        let mut rounds = 0u32;
+        while !entries.is_empty() {
+            if rounds >= MAX_BATCH_ROUNDS {
+                return Err(TransportError::Protocol("server stayed overloaded"));
+            }
+            rounds += 1;
+            let mut retry_entries = Vec::new();
+            let mut retry_owners = Vec::new();
+            for (chunk, chunk_owners) in
+                entries.chunks(MAX_BATCH_ENTRIES).zip(owners.chunks(MAX_BATCH_ENTRIES))
+            {
+                batch_seq = (batch_seq + 1) & SEQ_MASK;
+                let replies = exchange_batch(&mut driver, batch_seq, chunk)?;
+                if replies.len() != chunk.len() {
+                    return Err(TransportError::Protocol("batch reply count mismatch"));
+                }
+                for ((reply, &owner), &entry) in
+                    replies.into_iter().zip(chunk_owners).zip(chunk)
+                {
+                    if reply.session != entry.session {
+                        return Err(TransportError::Protocol("batch reply session mismatch"));
+                    }
+                    if !clients[owner].complete_update(reply.responses)? {
+                        retry_entries.push(entry);
+                        retry_owners.push(owner);
+                    }
+                }
+            }
+            if !retry_entries.is_empty() {
+                std::thread::yield_now();
+            }
+            entries = retry_entries;
+            owners = retry_owners;
+        }
+    }
+
+    let mut fired = Vec::new();
+    let mut per_client = Vec::new();
+    for client in &mut clients {
+        per_client.push((client.user(), client.strategy(), client.stats()));
+        fired.extend(client.take_fired());
+    }
+    Ok((fired, per_client))
+}
+
+type WorkerOutcome = (Vec<FiredEvent>, Vec<(SubscriberId, StrategySpec, ClientStats)>);
+
+/// One batch frame round trip, unwrapped to its reply groups.
+fn exchange_batch(
+    driver: &mut InProcTransport,
+    seq: u32,
+    updates: &[BatchedUpdate],
+) -> Result<Vec<BatchReply>, TransportError> {
+    let resps = driver.request(Request::Batch { seq, updates: updates.to_vec() })?;
+    match resps.into_iter().next() {
+        Some(Response::Batch { seq: echoed, replies }) if echoed == seq => Ok(replies),
+        _ => Err(TransportError::Protocol("batch request answered without a batch reply")),
+    }
+}
+
 /// [`replay`] over loopback TCP: starts an accept loop, gives every
 /// client its own connection, and tears the listener down afterwards.
 ///
@@ -234,6 +451,26 @@ mod tests {
             uplinks < harness.config().fleet.vehicles as u64 * 120,
             "safe regions must suppress most samples"
         );
+    }
+
+    #[test]
+    fn batched_replay_matches_ground_truth_and_per_request_traffic() {
+        let harness = SimulationHarness::build(&SimulationConfig::smoke_test());
+        let cfg = ReplayConfig { steps: Some(120), ..ReplayConfig::default() };
+        let batched = replay_batched_in_proc(&harness, &cfg, 3).expect("transport must hold");
+        batched.assert_accurate();
+        assert_eq!(batched.steps, 120);
+        assert_eq!(batched.clients.len(), harness.config().fleet.vehicles);
+        // Batching changes the framing, not the strategies: the same
+        // uplinks, installs and deliveries as the per-request driver.
+        let per_request = replay_in_proc(&harness, &cfg).expect("transport must hold");
+        let totals = |o: &ReplayOutcome| {
+            o.clients.iter().fold((0u64, 0u64, 0u64), |(u, i, d), (_, _, s)| {
+                (u + s.uplinks, i + s.region_installs, d + s.deliveries)
+            })
+        };
+        assert_eq!(totals(&batched), totals(&per_request));
+        assert!(totals(&batched).0 > 0, "someone must have talked to the server");
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! no cycle exists.
 
 use crate::cache::{CacheStats, RegionCache};
-use crate::shard::{shard_of_index, Job, ShardIndex, ShardPool, SubmitError};
+use crate::shard::{shard_of_index, Job, JobPayload, ShardIndex, ShardPool, ShardUpdate, SubmitError};
 use crate::wire::{
-    dequantize_m, quantize_m, unpack_motion, Request, Response, StrategySpec, SEQ_MASK,
+    dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, Request, Response,
+    StrategySpec, SEQ_MASK,
 };
 use crossbeam::channel::unbounded;
 use parking_lot::RwLock;
@@ -249,8 +250,21 @@ impl Server {
 
         let worker_core = Arc::clone(&core);
         let handler = Arc::new(move |shard: usize, job: Job| {
-            let responses = worker_core.process(shard, job.session, &job.req);
-            let _ = job.reply.send(responses);
+            let Job { payload, reply, .. } = job;
+            match payload {
+                JobPayload::Single { session, req } => {
+                    let responses = worker_core.process(shard, session, &req);
+                    let _ = reply.send(vec![(0, responses)]);
+                }
+                JobPayload::Batch(updates) => {
+                    let mut out = Vec::with_capacity(updates.len());
+                    for u in updates {
+                        let responses = worker_core.process(shard, u.session, &u.req);
+                        out.push((u.index, responses));
+                    }
+                    let _ = reply.send(out);
+                }
+            }
         });
         let pool =
             ShardPool::spawn(config.num_shards, config.queue_capacity, handler, &core.registry);
@@ -347,7 +361,7 @@ impl Server {
                 let cell = self.core.grid.cell_of(pos);
                 let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
                 let (reply_tx, reply_rx) = unbounded();
-                let job = Job::new(session, req, reply_tx);
+                let job = Job::new(session, req, reply_tx, entered);
                 // Submit under the read guard, but wait for the reply
                 // outside it so shutdown() is never blocked behind a
                 // slow worker.
@@ -376,13 +390,118 @@ impl Server {
                         return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
                     }
                 }
-                let out = reply_rx.recv().unwrap_or_else(|_| {
-                    vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
-                });
+                let out = reply_rx
+                    .recv()
+                    .ok()
+                    .and_then(|mut groups| groups.pop())
+                    .map(|(_, responses)| responses)
+                    .unwrap_or_else(|| {
+                        vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
+                    });
                 self.core.metrics.update_rtt.record_duration(entered.elapsed());
                 out
             }
+            Request::Batch { seq, updates } => self.handle_batch(seq, updates),
         }
+    }
+
+    /// Routes one [`Request::Batch`]: group the updates by owning shard,
+    /// submit **once per shard queue**, and reassemble the per-update
+    /// response groups in batch entry order. A shard whose queue is full
+    /// bounces its whole slice as per-update `Overloaded` (the driver
+    /// retries those entries); unknown sessions error individually
+    /// without touching any shard. The wall clock is read exactly once,
+    /// at entry, and threaded through every job.
+    fn handle_batch(&self, seq: u32, updates: Vec<BatchedUpdate>) -> Vec<Response> {
+        let entered = Instant::now();
+        let mut replies: Vec<BatchReply> = updates
+            .iter()
+            .map(|u| BatchReply { session: u.session, responses: Vec::new() })
+            .collect();
+
+        // Group by owning shard, preserving batch order within a slice.
+        let mut by_shard: HashMap<usize, Vec<ShardUpdate>> = HashMap::new();
+        {
+            let sessions = self.core.sessions.read();
+            for (index, u) in updates.into_iter().enumerate() {
+                if !sessions.contains_key(&u.session) {
+                    replies[index].responses =
+                        vec![Response::Error { seq: u.seq, code: error_code::NO_SESSION }];
+                    continue;
+                }
+                let pos = self.core.clamped_position(u.x_fx, u.y_fx);
+                let cell = self.core.grid.cell_of(pos);
+                let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
+                by_shard.entry(shard).or_default().push(ShardUpdate {
+                    index: index as u32,
+                    session: u.session,
+                    req: Request::LocationUpdate {
+                        seq: u.seq,
+                        x_fx: u.x_fx,
+                        y_fx: u.y_fx,
+                        motion: u.motion,
+                    },
+                });
+            }
+        }
+
+        let (reply_tx, reply_rx) = unbounded();
+        let mut submitted = 0usize;
+        // Bounce a whole shard slice as per-update responses.
+        let bounce = |replies: &mut Vec<BatchReply>, slice: Vec<ShardUpdate>, overloaded| {
+            for u in slice {
+                replies[u.index as usize].responses = vec![if overloaded {
+                    Response::Overloaded { seq: u.req.seq() }
+                } else {
+                    Response::Error { seq: u.req.seq(), code: error_code::BAD_REQUEST }
+                }];
+            }
+        };
+        // Submit under the read guard, but wait for replies outside it so
+        // shutdown() is never blocked behind a slow worker.
+        {
+            let pool = self.pool.read();
+            for (shard, slice) in by_shard {
+                match pool.as_ref() {
+                    None => bounce(&mut replies, slice, false),
+                    Some(pool) => {
+                        match pool.try_submit(shard, Job::batch(slice, reply_tx.clone(), entered)) {
+                            Ok(()) => submitted += 1,
+                            Err(SubmitError::Full(job)) => {
+                                let JobPayload::Batch(slice) = job.payload else {
+                                    unreachable!("batch jobs carry batch payloads")
+                                };
+                                self.core.metrics.overloads.add(slice.len() as u64);
+                                self.core.tracer.event(
+                                    self.core.num_shards,
+                                    "overload",
+                                    slice.len() as u64,
+                                    shard as u64,
+                                );
+                                bounce(&mut replies, slice, true);
+                            }
+                            Err(SubmitError::Disconnected(job)) => {
+                                let JobPayload::Batch(slice) = job.payload else {
+                                    unreachable!("batch jobs carry batch payloads")
+                                };
+                                bounce(&mut replies, slice, false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(reply_tx);
+        for _ in 0..submitted {
+            let Ok(groups) = reply_rx.recv() else { break };
+            for (index, responses) in groups {
+                // Each batched update's round trip is the batch's: entry
+                // to its worker reply.
+                self.core.metrics.update_rtt.record_duration(entered.elapsed());
+                replies[index as usize].responses = responses;
+            }
+        }
+        vec![Response::Batch { seq, replies }]
     }
 
     /// Installs a static-target alarm everywhere it belongs: the global

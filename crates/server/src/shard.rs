@@ -149,26 +149,81 @@ impl ShardIndex {
     }
 }
 
-/// One queued unit of shard work: a decoded request plus the reply
-/// channel the worker answers on.
+/// One update of a batch sliced out for a single shard: the batch-wide
+/// position of the update (so the router can reassemble replies in
+/// order) plus the session and the per-update request.
+#[derive(Debug)]
+pub struct ShardUpdate {
+    /// Index of this update in the original batch frame.
+    pub index: u32,
+    /// The session the update belongs to.
+    pub session: u32,
+    /// The per-update request (a `LocationUpdate` in practice).
+    pub req: Request,
+}
+
+/// What a shard worker is asked to do.
+#[derive(Debug)]
+pub enum JobPayload {
+    /// One decoded request on one session — the per-request path.
+    Single {
+        /// The session the request arrived on.
+        session: u32,
+        /// The decoded request.
+        req: Request,
+    },
+    /// The shard's slice of a [`crate::wire::Request::Batch`]: every
+    /// update whose cell this shard owns, in batch order. The worker
+    /// processes them back to back and answers once.
+    Batch(Vec<ShardUpdate>),
+}
+
+/// One reply unit a worker sends back: the batch index the responses
+/// belong to (0 for single-request jobs) and the full response sequence
+/// of that update.
+pub type JobReply = Vec<(u32, Vec<Response>)>;
+
+/// One queued unit of shard work: a payload plus the reply channel the
+/// worker answers on.
 #[derive(Debug)]
 pub struct Job {
-    /// The session the request arrived on.
-    pub session: u32,
-    /// The decoded request.
-    pub req: Request,
-    /// Where the worker sends the full response sequence.
-    pub reply: Sender<Vec<Response>>,
-    /// When the job entered a shard queue — re-stamped by
-    /// [`ShardPool::try_submit`] so the dispatch-wait histogram measures
-    /// pure queue time.
+    /// What to do.
+    pub payload: JobPayload,
+    /// Where the worker sends the indexed response sequences.
+    pub reply: Sender<JobReply>,
+    /// When the request entered the router — stamped **once** at router
+    /// entry and threaded through, so the hot path pays a single clock
+    /// read per request instead of one per job hop. The dispatch-wait
+    /// histogram therefore measures router-entry→worker-pickup (queue
+    /// wait plus the router's constant-time fan-out work).
     pub enqueued_at: Instant,
 }
 
 impl Job {
-    /// A job stamped now.
-    pub fn new(session: u32, req: Request, reply: Sender<Vec<Response>>) -> Job {
-        Job { session, req, reply, enqueued_at: Instant::now() }
+    /// A single-request job carrying the router's entry timestamp.
+    pub fn new(session: u32, req: Request, reply: Sender<JobReply>, entered: Instant) -> Job {
+        Job { payload: JobPayload::Single { session, req }, reply, enqueued_at: entered }
+    }
+
+    /// A batch-slice job carrying the router's entry timestamp.
+    pub fn batch(updates: Vec<ShardUpdate>, reply: Sender<JobReply>, entered: Instant) -> Job {
+        Job { payload: JobPayload::Batch(updates), reply, enqueued_at: entered }
+    }
+
+    /// The single request inside a [`JobPayload::Single`] job, if any.
+    pub fn request(&self) -> Option<&Request> {
+        match &self.payload {
+            JobPayload::Single { req, .. } => Some(req),
+            JobPayload::Batch(_) => None,
+        }
+    }
+
+    /// Number of position updates this job carries.
+    pub fn update_count(&self) -> usize {
+        match &self.payload {
+            JobPayload::Single { .. } => 1,
+            JobPayload::Batch(updates) => updates.len(),
+        }
     }
 }
 
@@ -303,7 +358,9 @@ impl ShardPool {
         self.senders[shard].len()
     }
 
-    /// Non-blocking submission.
+    /// Non-blocking submission. The job keeps the router-entry
+    /// timestamp it was built with — no re-stamp, no extra clock read on
+    /// the hot path.
     ///
     /// # Errors
     ///
@@ -314,8 +371,7 @@ impl ShardPool {
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
-    pub fn try_submit(&self, shard: usize, mut job: Job) -> Result<(), SubmitError> {
-        job.enqueued_at = Instant::now();
+    pub fn try_submit(&self, shard: usize, job: Job) -> Result<(), SubmitError> {
         match self.senders[shard].try_send(job) {
             Ok(()) => {
                 self.meters[shard].depth.inc();
@@ -400,11 +456,13 @@ mod tests {
         let registry = Registry::new();
         let pool = ShardPool::without_workers(2, 1, &registry);
         let (reply, _keep) = unbounded();
-        let job = |seq| Job::new(0, Request::Bye { seq }, reply.clone());
+        let job = |seq| Job::new(0, Request::Bye { seq }, reply.clone(), Instant::now());
         assert!(pool.try_submit(0, job(1)).is_ok());
         let start = std::time::Instant::now();
         match pool.try_submit(0, job(2)) {
-            Err(SubmitError::Full(job)) => assert_eq!(job.req, Request::Bye { seq: 2 }),
+            Err(SubmitError::Full(job)) => {
+                assert_eq!(job.request(), Some(&Request::Bye { seq: 2 }))
+            }
             other => panic!("expected Full, got {other:?}"),
         }
         assert!(
@@ -420,9 +478,10 @@ mod tests {
     #[test]
     fn workers_drain_jobs_and_answer_on_the_reply_channel() {
         let handler = Arc::new(|shard: usize, job: Job| {
+            let seq = job.request().expect("single job").seq();
             let _ = job
                 .reply
-                .send(vec![Response::Error { seq: job.req.seq(), code: shard as u32 }]);
+                .send(vec![(0, vec![Response::Error { seq, code: shard as u32 }])]);
         });
         let registry = Registry::new();
         let pool = ShardPool::spawn(3, 4, handler, &registry);
@@ -435,13 +494,17 @@ mod tests {
                     1,
                     Request::Hello { seq: shard as u32, user: 0, strategy: StrategySpec::Mwpsr },
                     reply_tx.clone(),
+                    Instant::now(),
                 ),
             )
             .unwrap();
         }
         let mut codes: Vec<u32> = (0..3)
             .map(|_| match reply_rx.recv().unwrap().pop().unwrap() {
-                Response::Error { code, .. } => code,
+                (0, resps) => match resps.last() {
+                    Some(Response::Error { code, .. }) => *code,
+                    other => panic!("unexpected {other:?}"),
+                },
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
@@ -468,17 +531,20 @@ mod tests {
         let (reply, _keep) = unbounded();
         // Fill shard 1 to capacity, then push two more over the brim.
         for seq in 0..CAPACITY as u32 {
-            pool.try_submit(1, Job::new(0, Request::Bye { seq }, reply.clone())).unwrap();
+            pool.try_submit(1, Job::new(0, Request::Bye { seq }, reply.clone(), Instant::now()))
+                .unwrap();
         }
         for seq in 0..2 {
-            match pool.try_submit(1, Job::new(0, Request::Bye { seq: 100 + seq }, reply.clone())) {
+            let job = Job::new(0, Request::Bye { seq: 100 + seq }, reply.clone(), Instant::now());
+            match pool.try_submit(1, job) {
                 Err(SubmitError::Full(_)) => {}
                 other => panic!("expected Full, got {other:?}"),
             }
         }
         // One stray job on shard 2 so "only shard 1 spikes" is tested
         // against a non-idle sibling, not an empty pool.
-        pool.try_submit(2, Job::new(0, Request::Bye { seq: 7 }, reply.clone())).unwrap();
+        pool.try_submit(2, Job::new(0, Request::Bye { seq: 7 }, reply.clone(), Instant::now()))
+            .unwrap();
 
         let snap = registry.snapshot();
         assert_eq!(

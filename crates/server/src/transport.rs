@@ -98,6 +98,12 @@ impl InProcTransport {
         let session = server.open_session();
         InProcTransport { server, session }
     }
+
+    /// The session this transport speaks on — batched drivers need it to
+    /// address [`crate::wire::Request::Batch`] entries at this client.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
 }
 
 impl Transport for InProcTransport {

@@ -124,6 +124,38 @@ impl StrategySpec {
     }
 }
 
+/// One entry of a [`Request::Batch`]: a location update re-targeted at an
+/// explicit session (the batch connection multiplexes many clients).
+/// Exactly 20 bytes on the wire — a [`Request::LocationUpdate`] body plus
+/// the session word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedUpdate {
+    /// The session this update belongs to.
+    pub session: u32,
+    /// Per-session request sequence number (28 bits).
+    pub seq: u32,
+    /// X coordinate, Q16.16 meters.
+    pub x_fx: u32,
+    /// Y coordinate, Q16.16 meters.
+    pub y_fx: u32,
+    /// Packed heading/speed (see [`pack_motion`]).
+    pub motion: u32,
+}
+
+/// One reply group of a [`Response::Batch`]: the responses one batched
+/// update produced, tagged with the session it belongs to. Groups appear
+/// in batch entry order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply {
+    /// The session the group belongs to (echoed from the entry).
+    pub session: u32,
+    /// Zero or more [`Response::TriggerDelivery`] frames followed by
+    /// exactly one terminal response — the same sequence a standalone
+    /// [`Request::LocationUpdate`] would have produced. Nested batches
+    /// are rejected by the codec.
+    pub responses: Vec<Response>,
+}
+
 /// One alarm entry of a [`Response::AlarmPush`]. The high bit of the
 /// alarm word flags relevance (the OPT client spatially tests irrelevant
 /// alarms too but never fires them); alarm ids therefore live in 31 bits
@@ -138,7 +170,8 @@ pub struct PushedAlarm {
     pub rect: [u32; 4],
 }
 
-/// Client → server messages. Type nibbles 1–6.
+/// Client → server messages. Type nibbles 0–7, plus nibble 8 reused
+/// direction-aware for [`Request::Batch`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Opens a session: who the subscriber is and which strategy to run.
@@ -222,9 +255,22 @@ pub enum Request {
         /// session delivery log from this offset.
         acked: u32,
     },
+    /// A whole simulation step of position updates sharing one frame
+    /// header — the replay driver's bulk path. Each entry names the
+    /// session it belongs to, so one driver connection can carry updates
+    /// for many clients; the router fans the batch out by shard, submits
+    /// once per shard queue, and answers with a single
+    /// [`Response::Batch`] whose groups preserve entry order.
+    Batch {
+        /// Request sequence number of the batch frame itself (28 bits).
+        seq: u32,
+        /// The batched updates, one per vehicle polled this step.
+        updates: Vec<BatchedUpdate>,
+    },
 }
 
-/// Server → client messages. Type nibbles 8–15.
+/// Server → client messages. Type nibbles 8–15, plus nibble 2 reused
+/// direction-aware for [`Response::Batch`].
 ///
 /// A request is answered by zero or more [`Response::TriggerDelivery`]
 /// frames followed by exactly one *terminal* frame (any other variant).
@@ -303,6 +349,16 @@ pub enum Response {
         /// Prometheus text (UTF-8).
         text: String,
     },
+    /// The answer to a [`Request::Batch`]: per-entry response groups in
+    /// the order the updates arrived. Each group carries the full
+    /// response sequence its update would have produced standalone, as
+    /// nested length-prefixed response bodies.
+    Batch {
+        /// Echoed batch sequence number.
+        seq: u32,
+        /// Per-update reply groups, in batch entry order.
+        replies: Vec<BatchReply>,
+    },
 }
 
 /// Nibble 0 is the post-failure resync update — the only request type
@@ -321,6 +377,13 @@ const T_BYE: u8 = 6;
 /// and the response decoder as `StatsReply`.
 const T_STATS: u8 = 7;
 const T_ACK: u8 = 8;
+/// The batch frames reuse nibbles across directions (all 16 are taken),
+/// exactly like [`T_STATS`]: in the *request* direction nibble 8 —
+/// `T_ACK` on the response side — is the batched location update, and in
+/// the *response* direction nibble 2 — `T_LOCATION` on the request side —
+/// is the batched reply.
+const T_BATCH_REQ: u8 = T_ACK;
+const T_BATCH_RESP: u8 = T_LOCATION;
 const T_RECT: u8 = 9;
 const T_BITMAP: u8 = 10;
 const T_PUSH: u8 = 11;
@@ -400,6 +463,18 @@ impl Request {
                 buf.put_u32(*motion);
                 buf.put_u32(*acked);
             }
+            Request::Batch { seq, updates } => {
+                buf.put_u32(head(T_BATCH_REQ, *seq));
+                buf.put_u32(updates.len() as u32);
+                for u in updates {
+                    debug_assert!(u.seq <= SEQ_MASK, "entry sequence overflows 28 bits");
+                    buf.put_u32(u.session);
+                    buf.put_u32(u.seq);
+                    buf.put_u32(u.x_fx);
+                    buf.put_u32(u.y_fx);
+                    buf.put_u32(u.motion);
+                }
+            }
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -416,6 +491,7 @@ impl Request {
             Request::Bye { .. } => 4,
             Request::Stats { .. } => 4,
             Request::Resync { .. } => 20,
+            Request::Batch { updates, .. } => 8 + 20 * updates.len(),
         }
     }
 
@@ -429,6 +505,10 @@ impl Request {
             // cursor; the model has no budget for recovery traffic, so
             // charge what the wire actually carries.
             Request::Resync { .. } => payload::LOCATION_UPDATE_BITS + 32,
+            // Each batched entry charges what its standalone update
+            // would: the batch envelope and session words are transport
+            // framing the model does not budget.
+            Request::Batch { updates, .. } => updates.len() * payload::LOCATION_UPDATE_BITS,
             other => other.encoded_len() * 8,
         }
     }
@@ -443,7 +523,8 @@ impl Request {
             | Request::RemoveAlarm { seq, .. }
             | Request::Bye { seq }
             | Request::Stats { seq }
-            | Request::Resync { seq, .. } => *seq,
+            | Request::Resync { seq, .. }
+            | Request::Batch { seq, .. } => *seq,
         }
     }
 
@@ -496,6 +577,28 @@ impl Request {
                 motion: get_u32(&mut body)?,
                 acked: get_u32(&mut body)?,
             },
+            T_BATCH_REQ => {
+                let count = get_u32(&mut body)? as usize;
+                if body.len() != count * 20 {
+                    return Err(WireError::Malformed("batch length mismatch"));
+                }
+                let mut updates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let session = get_u32(&mut body)?;
+                    let entry_seq = get_u32(&mut body)?;
+                    if entry_seq > SEQ_MASK {
+                        return Err(WireError::Malformed("entry sequence overflows 28 bits"));
+                    }
+                    updates.push(BatchedUpdate {
+                        session,
+                        seq: entry_seq,
+                        x_fx: get_u32(&mut body)?,
+                        y_fx: get_u32(&mut body)?,
+                        motion: get_u32(&mut body)?,
+                    });
+                }
+                Request::Batch { seq, updates }
+            }
             other => return Err(WireError::UnknownType(other)),
         };
         expect_empty(body)?;
@@ -554,6 +657,23 @@ impl Response {
                 buf.put_u32(text.len() as u32);
                 buf.put_slice(text.as_bytes());
             }
+            Response::Batch { seq, replies } => {
+                buf.put_u32(head(T_BATCH_RESP, *seq));
+                buf.put_u32(replies.len() as u32);
+                for group in replies {
+                    buf.put_u32(group.session);
+                    buf.put_u32(group.responses.len() as u32);
+                    for r in &group.responses {
+                        debug_assert!(
+                            !matches!(r, Response::Batch { .. }),
+                            "batches do not nest"
+                        );
+                        let nested = r.encode();
+                        buf.put_u32(nested.len() as u32);
+                        buf.put_slice(&nested);
+                    }
+                }
+            }
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -571,6 +691,14 @@ impl Response {
             Response::Overloaded { .. } => 4,
             Response::Error { .. } => 8,
             Response::Stats { text, .. } => 8 + text.len(),
+            Response::Batch { replies, .. } => {
+                8 + replies
+                    .iter()
+                    .map(|g| {
+                        8 + g.responses.iter().map(|r| 4 + r.encoded_len()).sum::<usize>()
+                    })
+                    .sum::<usize>()
+            }
         }
     }
 
@@ -587,6 +715,13 @@ impl Response {
             }
             Response::TriggerDelivery { .. } => payload::TRIGGER_DELIVERY_BITS,
             Response::SafePeriodGrant { .. } => payload::SAFE_PERIOD_BITS,
+            // A batch charges what its constituents would standalone;
+            // the envelope is unbudgeted transport framing.
+            Response::Batch { replies, .. } => replies
+                .iter()
+                .flat_map(|g| g.responses.iter())
+                .map(Response::charged_bits)
+                .sum(),
             other => other.encoded_len() * 8,
         }
     }
@@ -648,6 +783,32 @@ impl Response {
                 body = &body[body.len()..];
                 Response::Stats { seq, text }
             }
+            T_BATCH_RESP => {
+                let group_count = get_u32(&mut body)? as usize;
+                // A group needs at least 8 bytes, so cap the
+                // pre-allocation by what the body could actually hold.
+                let mut replies = Vec::with_capacity(group_count.min(body.len() / 8));
+                for _ in 0..group_count {
+                    let session = get_u32(&mut body)?;
+                    let resp_count = get_u32(&mut body)? as usize;
+                    let mut responses = Vec::with_capacity(resp_count.min(body.len() / 4));
+                    for _ in 0..resp_count {
+                        let len = get_u32(&mut body)? as usize;
+                        if body.len() < len {
+                            return Err(WireError::Truncated);
+                        }
+                        let (nested, rest) = body.split_at(len);
+                        let r = Response::decode(nested)?;
+                        if matches!(r, Response::Batch { .. }) {
+                            return Err(WireError::Malformed("batches do not nest"));
+                        }
+                        responses.push(r);
+                        body = rest;
+                    }
+                    replies.push(BatchReply { session, responses });
+                }
+                Response::Batch { seq, replies }
+            }
             other => return Err(WireError::UnknownType(other)),
         };
         expect_empty(body)?;
@@ -664,8 +825,11 @@ pub fn frame(body: &Bytes) -> Bytes {
 }
 
 /// Frames larger than this are rejected by [`read_frame`] (a corrupt
-/// length prefix must not allocate unboundedly).
-pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// length prefix must not allocate unboundedly). Sized for the batch
+/// path: a [`Response::Batch`] carrying a height-5 bitmap install for
+/// every vehicle of a paper-scale step legitimately reaches several
+/// megabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
 
 /// Reads one length-prefixed frame body from a byte stream.
 ///
@@ -853,12 +1017,111 @@ mod tests {
     fn decode_rejects_wrong_direction_and_garbage() {
         let req = Request::Bye { seq: 1 }.encode();
         assert!(matches!(Response::decode(&req), Err(WireError::UnknownType(6))));
-        let resp = Response::Ack { seq: 1 }.encode();
-        assert!(matches!(Request::decode(&resp), Err(WireError::UnknownType(8))));
+        // Nibble 8 is Batch in the request direction, so a lone Ack head
+        // parses as a truncated batch rather than an unknown type; use a
+        // response nibble with no request-direction meaning instead.
+        let resp = Response::Error { seq: 1, code: 2 }.encode();
+        assert!(matches!(Request::decode(&resp), Err(WireError::UnknownType(15))));
+        assert_eq!(Request::decode(&Response::Ack { seq: 1 }.encode()), Err(WireError::Truncated));
         assert_eq!(Request::decode(&[1, 2]), Err(WireError::Truncated));
         let mut long = Request::Bye { seq: 1 }.encode().to_vec();
         long.push(0);
         assert!(matches!(Request::decode(&long), Err(WireError::Malformed(_))));
+    }
+
+    fn sample_batch_request() -> Request {
+        Request::Batch {
+            seq: 9,
+            updates: vec![
+                BatchedUpdate { session: 1, seq: 40, x_fx: 10, y_fx: 20, motion: 30 },
+                BatchedUpdate { session: 2, seq: 41, x_fx: 11, y_fx: 21, motion: 31 },
+                BatchedUpdate { session: 7, seq: 5, x_fx: 12, y_fx: 22, motion: 32 },
+            ],
+        }
+    }
+
+    #[test]
+    fn batch_request_round_trips_and_charges_per_update() {
+        let req = sample_batch_request();
+        assert_eq!(req.encoded_len(), 8 + 3 * 20);
+        assert_eq!(req.charged_bits(), 3 * payload::LOCATION_UPDATE_BITS);
+        assert_eq!(req.seq(), 9);
+        assert_eq!(req.position_fx(), None);
+        round_trip_request(req);
+        round_trip_request(Request::Batch { seq: 0, updates: Vec::new() });
+    }
+
+    #[test]
+    fn batch_response_round_trips_nested_frames() {
+        let bits: BitVec = (0..82).map(|i| i % 3 == 0).collect();
+        let resp = Response::Batch {
+            seq: 9,
+            replies: vec![
+                BatchReply {
+                    session: 1,
+                    responses: vec![
+                        Response::TriggerDelivery { seq: 40, alarm: 6 },
+                        Response::RectInstall { seq: 40, cell: 3, rect: [1, 2, 3, 4] },
+                    ],
+                },
+                BatchReply {
+                    session: 2,
+                    responses: vec![Response::BitmapInstall { seq: 41, cell: 8, bits }],
+                },
+                BatchReply { session: 7, responses: vec![Response::Overloaded { seq: 5 }] },
+                BatchReply { session: 8, responses: Vec::new() },
+            ],
+        };
+        assert!(resp.is_terminal());
+        // The batch charges exactly what its constituents would.
+        let constituent_bits: usize = match &resp {
+            Response::Batch { replies, .. } => replies
+                .iter()
+                .flat_map(|g| g.responses.iter())
+                .map(Response::charged_bits)
+                .sum(),
+            _ => unreachable!(),
+        };
+        assert_eq!(resp.charged_bits(), constituent_bits);
+        round_trip_response(resp);
+        round_trip_response(Response::Batch { seq: 0, replies: Vec::new() });
+    }
+
+    #[test]
+    fn batch_frames_reject_malformed_bodies() {
+        // Request: count disagreeing with the body length.
+        let mut body = sample_batch_request().encode().to_vec();
+        body.push(0);
+        assert!(matches!(Request::decode(&body), Err(WireError::Malformed(_))));
+        // Request: an entry sequence overflowing 28 bits.
+        let mut overflow = Request::Batch { seq: 1, updates: Vec::new() }.encode().to_vec();
+        overflow[4..8].copy_from_slice(&1u32.to_be_bytes()); // count = 1
+        overflow.extend_from_slice(&0u32.to_be_bytes()); // session
+        overflow.extend_from_slice(&u32::MAX.to_be_bytes()); // seq > SEQ_MASK
+        overflow.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(Request::decode(&overflow), Err(WireError::Malformed(_))));
+        // Response: a nested body longer than what remains.
+        let ok = Response::Batch {
+            seq: 2,
+            replies: vec![BatchReply {
+                session: 3,
+                responses: vec![Response::Ack { seq: 1 }],
+            }],
+        };
+        let mut truncated = ok.encode().to_vec();
+        let nested_len_at = truncated.len() - 4 - 4; // before the Ack body
+        truncated[nested_len_at..nested_len_at + 4].copy_from_slice(&99u32.to_be_bytes());
+        assert_eq!(Response::decode(&truncated), Err(WireError::Truncated));
+        // Response: batches must not nest.
+        let inner = Response::Batch { seq: 3, replies: Vec::new() }.encode();
+        let mut nested = Vec::new();
+        nested.extend_from_slice(&(((T_BATCH_RESP as u32) << 28) | 4).to_be_bytes());
+        nested.extend_from_slice(&1u32.to_be_bytes()); // one group
+        nested.extend_from_slice(&5u32.to_be_bytes()); // session
+        nested.extend_from_slice(&1u32.to_be_bytes()); // one response
+        nested.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+        nested.extend_from_slice(&inner);
+        assert!(matches!(Response::decode(&nested), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -73,6 +73,26 @@ impl SimulationConfig {
         config
     }
 
+    /// The paper setup with *both* the fleet and the alarm workload
+    /// shrunk by `factor` (subscribers shrink with the fleet so every
+    /// alarm still has a live owner). Unlike [`SimulationConfig::scaled`],
+    /// this changes per-cell alarm density, so figures lose their shapes —
+    /// it exists for end-to-end throughput runs (`scale_replay`, the
+    /// tenth-scale stress test) where the point is "a proportional slice
+    /// of the paper's hour", not a faithful cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not in `(0, 1]`.
+    pub fn paper_fraction(factor: f64) -> SimulationConfig {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        let mut config = SimulationConfig::paper_default();
+        config.fleet.vehicles = ((config.fleet.vehicles as f64 * factor) as usize).max(10);
+        config.workload.alarms = ((config.workload.alarms as f64 * factor) as usize).max(10);
+        config.workload.subscribers = config.fleet.vehicles as u32;
+        config
+    }
+
     /// A tiny deterministic setup for unit tests: a 4 km² town, a handful
     /// of vehicles, a few minutes of driving.
     pub fn smoke_test() -> SimulationConfig {
@@ -166,6 +186,25 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn rejects_zero_scale() {
         SimulationConfig::scaled(0.0);
+    }
+
+    #[test]
+    fn paper_fraction_shrinks_fleet_and_workload_together() {
+        let c = SimulationConfig::paper_fraction(0.1);
+        c.validate();
+        assert_eq!(c.fleet.vehicles, 1_000);
+        assert_eq!(c.workload.alarms, 1_000);
+        assert_eq!(c.workload.subscribers, 1_000);
+        // Still the full paper hour over the full universe.
+        assert_eq!(c.steps(), 3_600);
+        let km2 = c.universe().area() / 1.0e6;
+        assert!((999.0..1001.0).contains(&km2), "universe {km2} km²");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn paper_fraction_rejects_overscale() {
+        SimulationConfig::paper_fraction(1.5);
     }
 
     #[test]

@@ -1,7 +1,47 @@
-//! Opt-in stress tests at larger scales. Ignored by default — run with
+//! Stress tests at larger scales. The tenth-scale *batched live-server*
+//! run is fast enough to gate on and runs by default; the simulator
+//! sweeps against the full 10,000-alarm workload stay opt-in — run with
 //! `cargo test --release --test stress -- --ignored` (a few minutes).
 
+use spatial_alarms::server::wire::StrategySpec;
+use spatial_alarms::server::{replay_batched_in_proc, ReplayConfig, ServerConfig};
 use spatial_alarms::sim::{SimulationConfig, SimulationHarness, StrategyKind};
+
+/// A tenth of the paper's workload (1,000 vehicles × 1,000 alarms) for
+/// the full simulated hour, driven through the live server's
+/// `Request::Batch` path by parallel workers — every firing must match
+/// the simulator's ground truth exactly. This is the promoted tier-1
+/// form of [`tenth_scale_full_hour_accuracy`]: batching is what makes a
+/// paper-scale hour cheap enough to run on every commit.
+#[test]
+fn tenth_scale_full_hour_batched_accuracy() {
+    let config = SimulationConfig::paper_fraction(0.1);
+    let harness = SimulationHarness::build(&config);
+    assert!(harness.ground_truth().len() > 100, "expected a busy world");
+    let cfg = ReplayConfig {
+        steps: None,
+        server: ServerConfig::default(),
+        strategies: vec![
+            StrategySpec::Mwpsr,
+            StrategySpec::Pbsr { height: 5 },
+            StrategySpec::Opt,
+            StrategySpec::SafePeriod,
+        ],
+    };
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let outcome =
+        replay_batched_in_proc(&harness, &cfg, workers).expect("in-proc transport must hold");
+    outcome.assert_accurate();
+    assert_eq!(outcome.steps as usize, config.steps());
+    assert_eq!(outcome.clients.len(), config.fleet.vehicles);
+    // The headline scalability property: safe regions suppress almost all
+    // of the 3.6 M position samples. SafePeriod clients ride along in the
+    // strategy mix, so grant slack over the pure safe-region bound.
+    let uplinks: u64 = outcome.clients.iter().map(|(_, _, s)| s.uplinks).sum();
+    let samples = outcome.steps as u64 * outcome.clients.len() as u64;
+    let fraction = uplinks as f64 / samples as f64;
+    assert!(fraction < 0.20, "uplinked {:.1}% of samples", fraction * 100.0);
+}
 
 /// A tenth of the paper's fleet (1,000 vehicles) against the full
 /// 10,000-alarm workload for a full simulated hour: every strategy must
