@@ -55,9 +55,11 @@
 mod bitvec;
 mod monitor;
 mod mwpsr;
+pub mod oracle;
 mod pyramid;
 
 pub use bitvec::{BitVec, RankedBits};
 pub use monitor::{RectSafeRegion, SafeRegion};
 pub use mwpsr::MwpsrComputer;
+pub use oracle::{differential_check, OracleViolation};
 pub use pyramid::{BitmapSafeRegion, PyramidComputer, PyramidConfig};

@@ -1,0 +1,285 @@
+//! Brute-force reference oracles for safe-region soundness.
+//!
+//! The paper's entire correctness argument rests on one invariant (§2):
+//! a safe region must contain **no point strictly inside an unfired
+//! relevant alarm region** — while the client stays inside it, silence
+//! can never miss a firing. The computers in this crate establish that
+//! invariant cleverly (dynamic skylines, pyramid recursion); this
+//! module re-establishes it stupidly, by exhaustive enumeration, so the
+//! clever code can be checked against code too simple to be wrong.
+//!
+//! Two reference checks:
+//!
+//! * [`check_sound`] — sample an (n+1)×(n+1) lattice over the cell and
+//!   verify every point the region claims safe is outside every
+//!   obstacle's interior.
+//! * [`reference_free_mask`] — the finest-granularity free/blocked mask
+//!   a bitmap region of side `s` may legally claim, computed by direct
+//!   rectangle intersection with no pyramid recursion; compared
+//!   per-subcell against the real [`BitmapSafeRegion`] by
+//!   [`check_bitmap_against_mask`].
+//!
+//! [`differential_check`] bundles them: one (position, cell, obstacle
+//! set) run through MWPSR, GBSR (height 1) and PBSR (height ≥ 2), every
+//! region checked against both oracles. `sa-verify` fuzzes thousands of
+//! these per CI run.
+
+use crate::{BitmapSafeRegion, MwpsrComputer, PyramidComputer, PyramidConfig, SafeRegion};
+use sa_geometry::{Point, Rect};
+
+/// One oracle failure: which check tripped, where, and against what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleViolation {
+    /// Which algorithm produced the unsound region.
+    pub algo: &'static str,
+    /// What the oracle was checking when it tripped.
+    pub check: &'static str,
+    /// The point the region wrongly claims safe.
+    pub point: Point,
+    /// The obstacle whose interior contains (or subcell that overlaps)
+    /// the point.
+    pub obstacle: Rect,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed the {} oracle: claims ({:.3}, {:.3}) safe inside obstacle \
+             [{:.3}, {:.3}]x[{:.3}, {:.3}]",
+            self.algo,
+            self.check,
+            self.point.x,
+            self.point.y,
+            self.obstacle.min_x(),
+            self.obstacle.min_y(),
+            self.obstacle.max_x(),
+            self.obstacle.max_y(),
+        )
+    }
+}
+
+impl std::error::Error for OracleViolation {}
+
+/// The (n+1)×(n+1) sample lattice over `cell`, boundary included.
+pub fn lattice(cell: Rect, n: usize) -> Vec<Point> {
+    let n = n.max(1);
+    let mut points = Vec::with_capacity((n + 1) * (n + 1));
+    for row in 0..=n {
+        for col in 0..=n {
+            points.push(Point::new(
+                cell.min_x() + cell.width() * col as f64 / n as f64,
+                cell.min_y() + cell.height() * row as f64 / n as f64,
+            ));
+        }
+    }
+    points
+}
+
+/// Lattice soundness: every sampled point the region claims safe lies
+/// outside every obstacle's interior (boundary contact is legal — an
+/// alarm triggers on *strict* containment).
+///
+/// # Errors
+///
+/// The first violating (point, obstacle) pair.
+pub fn check_sound(
+    algo: &'static str,
+    region: &dyn SafeRegion,
+    cell: Rect,
+    obstacles: &[Rect],
+    n: usize,
+) -> Result<(), OracleViolation> {
+    for p in lattice(cell, n) {
+        if !region.contains(p) {
+            continue;
+        }
+        for &obstacle in obstacles {
+            if obstacle.contains_point_strict(p) {
+                return Err(OracleViolation { algo, check: "lattice", point: p, obstacle });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The finest-granularity reference mask: subcell `(row, col)` of an
+/// `side`×`side` split of `cell` is free iff no obstacle intersects its
+/// interior. Row-major, index `row * side + col`.
+///
+/// This is the most permissive mask a sound bitmap region of that
+/// granularity may claim — computed by direct rectangle intersection,
+/// sharing no code with the pyramid recursion it cross-checks.
+pub fn reference_free_mask(cell: Rect, obstacles: &[Rect], side: u32) -> Vec<bool> {
+    let side = side.max(1);
+    let w = cell.width() / f64::from(side);
+    let h = cell.height() / f64::from(side);
+    let mut mask = Vec::with_capacity((side * side) as usize);
+    for row in 0..side {
+        for col in 0..side {
+            let sub = Rect::new(
+                cell.min_x() + w * f64::from(col),
+                cell.min_y() + h * f64::from(row),
+                cell.min_x() + w * f64::from(col + 1),
+                cell.min_y() + h * f64::from(row + 1),
+            )
+            .expect("subcells of a valid cell are valid");
+            mask.push(!obstacles.iter().any(|o| o.intersects_interior(&sub)));
+        }
+    }
+    mask
+}
+
+/// Bitmap soundness against the reference mask: a subcell the bitmap
+/// claims free (its center is contained) must be free in the reference
+/// mask of the bitmap's own finest granularity. The converse is *not*
+/// required — coarse pyramid levels may block free subcells.
+///
+/// # Errors
+///
+/// The first subcell the bitmap wrongly frees.
+pub fn check_bitmap_against_mask(
+    algo: &'static str,
+    region: &BitmapSafeRegion,
+    obstacles: &[Rect],
+) -> Result<(), OracleViolation> {
+    let cfg = region.config();
+    let cell = region.cell();
+    // three_by_three splits u×v per level; the finest grid is u^h × v^h.
+    // The configs used on the wire are square (u == v), which keeps the
+    // reference mask square too.
+    let side = cfg.split_u.pow(cfg.height).max(cfg.split_v.pow(cfg.height));
+    let mask = reference_free_mask(cell, obstacles, side);
+    let w = cell.width() / f64::from(side);
+    let h = cell.height() / f64::from(side);
+    for row in 0..side {
+        for col in 0..side {
+            let center = Point::new(
+                cell.min_x() + w * (f64::from(col) + 0.5),
+                cell.min_y() + h * (f64::from(row) + 0.5),
+            );
+            if region.contains(center) && !mask[(row * side + col) as usize] {
+                let sub = Rect::new(
+                    cell.min_x() + w * f64::from(col),
+                    cell.min_y() + h * f64::from(row),
+                    cell.min_x() + w * f64::from(col + 1),
+                    cell.min_y() + h * f64::from(row + 1),
+                )
+                .expect("subcells of a valid cell are valid");
+                return Err(OracleViolation { algo, check: "free-mask", point: center, obstacle: sub });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sampling density of the differential lattice oracle (per cell side).
+pub const DIFFERENTIAL_LATTICE_N: usize = 54;
+
+/// One differential oracle case: compute MWPSR, GBSR (height 1) and
+/// PBSR at `pbsr_height` for the same (position, heading, cell,
+/// obstacles) and check every region against both brute-force oracles.
+/// MWPSR is additionally required to be rectangle-disjoint from every
+/// obstacle interior and to stay inside the cell.
+///
+/// # Errors
+///
+/// The first violation any algorithm produces.
+pub fn differential_check(
+    pos: Point,
+    heading: f64,
+    cell: Rect,
+    obstacles: &[Rect],
+    pbsr_height: u32,
+) -> Result<(), OracleViolation> {
+    let mwpsr = MwpsrComputer::non_weighted().compute(pos, heading, cell, obstacles);
+    let rect = mwpsr.rect();
+    for &obstacle in obstacles {
+        if rect.intersects_interior(&obstacle) {
+            return Err(OracleViolation {
+                algo: "mwpsr",
+                check: "rect-disjoint",
+                point: rect.center(),
+                obstacle,
+            });
+        }
+    }
+    if !cell.contains_rect(&rect) {
+        return Err(OracleViolation {
+            algo: "mwpsr",
+            check: "in-cell",
+            point: rect.center(),
+            obstacle: cell,
+        });
+    }
+    check_sound("mwpsr", &mwpsr, cell, obstacles, DIFFERENTIAL_LATTICE_N)?;
+
+    let gbsr = PyramidComputer::new(PyramidConfig::three_by_three(1)).compute(cell, obstacles);
+    check_bitmap_against_mask("gbsr", &gbsr, obstacles)?;
+    check_sound("gbsr", &gbsr, cell, obstacles, DIFFERENTIAL_LATTICE_N)?;
+
+    let pbsr = PyramidComputer::new(PyramidConfig::three_by_three(pbsr_height.max(2)))
+        .compute(cell, obstacles);
+    check_bitmap_against_mask("pbsr", &pbsr, obstacles)?;
+    check_sound("pbsr", &pbsr, cell, obstacles, DIFFERENTIAL_LATTICE_N)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Rect {
+        Rect::new(0.0, 0.0, 900.0, 900.0).unwrap()
+    }
+
+    #[test]
+    fn lattice_covers_cell_corners() {
+        let pts = lattice(cell(), 3);
+        assert_eq!(pts.len(), 16);
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+        assert_eq!(pts[15], Point::new(900.0, 900.0));
+    }
+
+    #[test]
+    fn reference_mask_blocks_exactly_the_touched_subcells() {
+        // An obstacle covering the center ninth of a 3×3 split.
+        let obstacle = Rect::new(350.0, 350.0, 550.0, 550.0).unwrap();
+        let mask = reference_free_mask(cell(), &[obstacle], 3);
+        let blocked: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, free)| !**free).map(|(i, _)| i).collect();
+        assert_eq!(blocked, vec![4], "only the center subcell intersects the obstacle");
+    }
+
+    #[test]
+    fn edge_aligned_obstacle_does_not_block_the_neighbor() {
+        // Obstacle exactly on the 300 m gridline: interior-disjoint from
+        // the left column.
+        let obstacle = Rect::new(300.0, 0.0, 600.0, 900.0).unwrap();
+        let mask = reference_free_mask(cell(), &[obstacle], 3);
+        assert!(mask[0] && mask[3] && mask[6], "left column stays free");
+        assert!(!mask[1] && !mask[4] && !mask[7], "middle column is blocked");
+    }
+
+    #[test]
+    fn differential_check_passes_on_real_computers() {
+        let obstacles = vec![
+            Rect::new(700.0, 700.0, 850.0, 850.0).unwrap(),
+            Rect::new(100.0, 500.0, 220.0, 640.0).unwrap(),
+            Rect::new(400.0, 0.0, 500.0, 90.0).unwrap(),
+        ];
+        differential_check(Point::new(300.0, 300.0), 0.7, cell(), &obstacles, 2)
+            .expect("the shipped computers must satisfy their own oracle");
+    }
+
+    #[test]
+    fn lattice_oracle_catches_an_unsound_region() {
+        // A rect region that plows straight through an obstacle.
+        let region = crate::RectSafeRegion::new(cell());
+        let obstacle = Rect::new(400.0, 400.0, 500.0, 500.0).unwrap();
+        let err = check_sound("bogus", &region, cell(), &[obstacle], 30)
+            .expect_err("a region covering an obstacle must fail");
+        assert_eq!(err.check, "lattice");
+        assert!(obstacle.contains_point_strict(err.point));
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the geometry substrate.
 
 use proptest::prelude::*;
-use sa_geometry::{normalize_angle, Grid, MotionPdf, Point, Quadrant, Rect};
+use sa_geometry::{normalize_angle, Grid, MotionPdf, Point, Quadrant, Rect, RectilinearRegion};
 use std::f64::consts::{PI, TAU};
 
 fn arb_point() -> impl Strategy<Value = Point> {
@@ -19,6 +19,41 @@ fn arb_pdf() -> impl Strategy<Value = MotionPdf> {
         let y = y.min(0.99 * z as f64);
         MotionPdf::new(y.min(1.9), z).unwrap_or_else(|_| MotionPdf::uniform())
     })
+}
+
+/// An interior-disjoint region built from a random subset of a grid
+/// split of a non-degenerate bounds rectangle — disjoint by construction.
+fn arb_region() -> impl Strategy<Value = (Rect, RectilinearRegion)> {
+    (
+        (0.0..9_000.0f64, 0.0..9_000.0f64),
+        (100.0..5_000.0f64, 100.0..5_000.0f64),
+        2usize..5,
+        2usize..5,
+        proptest::collection::vec((0u32..2).prop_map(|b| b == 1), 16),
+    )
+        .prop_map(|(origin, size, cols, rows, mask)| {
+            let bounds = Rect::new(origin.0, origin.1, origin.0 + size.0, origin.1 + size.1)
+                .expect("positive size");
+            let w = bounds.width() / cols as f64;
+            let h = bounds.height() / rows as f64;
+            let mut region = RectilinearRegion::new();
+            for row in 0..rows {
+                for col in 0..cols {
+                    if mask[(row * cols + col) % mask.len()] {
+                        region.push(
+                            Rect::new(
+                                bounds.min_x() + w * col as f64,
+                                bounds.min_y() + h * row as f64,
+                                bounds.min_x() + w * (col + 1) as f64,
+                                bounds.min_y() + h * (row + 1) as f64,
+                            )
+                            .expect("subcells of a valid rect are valid"),
+                        );
+                    }
+                }
+            }
+            (bounds, region)
+        })
 }
 
 proptest! {
@@ -138,6 +173,68 @@ proptest! {
         let n = normalize_angle(a);
         prop_assert!((normalize_angle(n) - n).abs() < 1e-12);
         prop_assert!(n > -PI - 1e-12 && n <= PI + 1e-12);
+    }
+
+    #[test]
+    fn region_membership_and_area_are_memberwise(br in arb_region(), p in arb_point()) {
+        let (_, region) = br;
+        prop_assert!(region.is_interior_disjoint());
+        let sum: f64 = region.rects().iter().map(|r| r.area()).sum();
+        prop_assert!((region.area() - sum).abs() <= 1e-6 * sum.max(1.0));
+        let memberwise = region.rects().iter().any(|r| r.contains_point(p));
+        prop_assert_eq!(region.contains_point(p), memberwise);
+        if region.contains_point(p) {
+            prop_assert!(region.bounding_box().expect("non-empty").contains_point(p));
+        }
+        prop_assert_eq!(region.is_empty(), region.len() == 0);
+    }
+
+    #[test]
+    fn region_interior_intersection_is_memberwise(br in arb_region(), q in arb_rect()) {
+        let (_, region) = br;
+        let memberwise = region.rects().iter().any(|r| r.intersects_interior(&q));
+        prop_assert_eq!(region.intersects_interior(&q), memberwise);
+        if let Some(bb) = region.bounding_box() {
+            if !bb.intersects(&q) {
+                prop_assert!(!region.intersects_interior(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn safe_regions_built_from_free_subcells_avoid_obstacles(
+        br in arb_region(),
+        obstacles in proptest::collection::vec(arb_rect(), 0..6),
+    ) {
+        let (bounds, region) = br;
+        // The safe-region construction invariant of the paper: keep only
+        // subcells whose interior no alarm region touches; the surviving
+        // region must then never claim a point strictly inside an alarm.
+        let safe = RectilinearRegion::from_rects(
+            region
+                .rects()
+                .iter()
+                .filter(|r| !obstacles.iter().any(|o| o.intersects_interior(r)))
+                .copied()
+                .collect(),
+        );
+        prop_assert!(safe.is_interior_disjoint());
+        for row in 0..=12 {
+            for col in 0..=12 {
+                let p = Point::new(
+                    bounds.min_x() + bounds.width() * col as f64 / 12.0,
+                    bounds.min_y() + bounds.height() * row as f64 / 12.0,
+                );
+                if safe.contains_point(p) {
+                    for o in &obstacles {
+                        prop_assert!(
+                            !o.contains_point_strict(p),
+                            "safe region claims {:?} strictly inside obstacle {:?}", p, o
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

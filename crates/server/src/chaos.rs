@@ -33,6 +33,7 @@
 //! paper's 100%-accuracy requirement must survive the fault plan.
 
 use crate::client::{Client, ResiliencePolicy};
+use crate::clock::{SharedClock, SystemClock};
 use crate::replay::{ReplayConfig, ReplayOutcome};
 use crate::server::Server;
 use crate::transport::{InProcTransport, Transport, TransportError};
@@ -254,6 +255,10 @@ pub struct FaultyTransport<T: Transport> {
     controls: ChaosControls,
     counts: Arc<InjectedCounts>,
     meter: Option<ChaosMeter>,
+    /// Injected delays sleep on this clock; under a
+    /// [`crate::clock::VirtualClock`] they advance simulated time
+    /// instead of blocking, keeping chaos runs deterministic and fast.
+    clock: SharedClock,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -270,7 +275,14 @@ impl<T: Transport> FaultyTransport<T> {
             controls: ChaosControls::default(),
             counts: Arc::new(InjectedCounts::default()),
             meter: None,
+            clock: SystemClock::shared(),
         }
+    }
+
+    /// Replaces the clock injected delays sleep on (builder-style).
+    pub fn with_clock(mut self, clock: SharedClock) -> FaultyTransport<T> {
+        self.clock = clock;
+        self
     }
 
     /// The switches the driver flips (breaker, arming). Clone it
@@ -299,7 +311,7 @@ impl<T: Transport> FaultyTransport<T> {
         let max_ns = max.as_nanos().min(u128::from(u64::MAX)) as u64;
         if max_ns > 0 {
             let ns = self.rng.gen_range(1..=max_ns);
-            std::thread::sleep(Duration::from_nanos(ns));
+            self.clock.sleep(Duration::from_nanos(ns));
         }
     }
 }

@@ -54,6 +54,7 @@
 //! buffered crossings are reported late in wall-clock terms (their
 //! step attribution stays exact).
 
+use crate::clock::{SharedClock, SystemClock};
 use crate::transport::{Transport, TransportError};
 use crate::wire::{
     dequantize_m, pack_motion, quantize_m, BatchedUpdate, PushedAlarm, Request, Response,
@@ -66,7 +67,7 @@ use sa_geometry::{CellId, Grid, Point, Rect};
 use sa_obs::{Counter, Histogram, Registry};
 use sa_sim::FiredEvent;
 use std::collections::{HashSet, VecDeque};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How many times an `Overloaded` bounce is retried before giving up.
 const MAX_OVERLOAD_RETRIES: u32 = 10_000;
@@ -161,9 +162,9 @@ struct Resilience {
     pending: VecDeque<PendingOp>,
     /// True while the client has given up on the link and buffers.
     degraded: bool,
-    /// When the current outage was first observed (for the reconnect
-    /// RTT histogram).
-    outage_started: Option<Instant>,
+    /// When the current outage was first observed, in client-clock
+    /// nanoseconds (for the reconnect RTT histogram).
+    outage_started_ns: Option<u64>,
     /// Simulated seconds spent degraded, not yet flushed to the
     /// whole-second `sa_client_degraded_seconds` counter.
     degraded_acc_s: f64,
@@ -176,7 +177,7 @@ impl Resilience {
             policy,
             pending: VecDeque::new(),
             degraded: false,
-            outage_started: None,
+            outage_started_ns: None,
             degraded_acc_s: 0.0,
         }
     }
@@ -283,6 +284,9 @@ pub struct Client<T: Transport> {
     /// Set between a [`Client::poll_update`] that staged an uplink and
     /// the [`Client::complete_update`] that absorbs its responses.
     pending_batch: Option<PendingBatch>,
+    /// Backoff sleeps and outage timing read this clock; a
+    /// [`crate::clock::VirtualClock`] makes them simulated.
+    clock: SharedClock,
 }
 
 impl<T: Transport> Client<T> {
@@ -328,7 +332,15 @@ impl<T: Transport> Client<T> {
             meter: None,
             stats,
             pending_batch: None,
+            clock: SystemClock::shared(),
         })
+    }
+
+    /// Replaces the clock backoff sleeps and outage timing read
+    /// (deterministic harnesses hand every client one
+    /// [`crate::clock::VirtualClock`]).
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = clock;
     }
 
     /// Enables the retry/degraded-mode machinery. Without this, any
@@ -433,7 +445,7 @@ impl<T: Transport> Client<T> {
                 .expect("resilience checked above")
                 .backoff
                 .delay(attempt.min(16));
-            std::thread::sleep(delay);
+            self.clock.sleep(delay);
         }
         Err(TransportError::TimedOut)
     }
@@ -692,7 +704,7 @@ impl<T: Transport> Client<T> {
             self.count_retry();
             let delay =
                 self.resilience.as_mut().expect("checked above").backoff.delay(attempt);
-            std::thread::sleep(delay);
+            self.clock.sleep(delay);
             match self.resync_once(step, pos, heading, speed)? {
                 Some(resps) => return Ok(Some(resps)),
                 None => continue,
@@ -762,7 +774,7 @@ impl<T: Transport> Client<T> {
                         .expect("resilience checked above")
                         .backoff
                         .delay(attempt);
-                    std::thread::sleep(delay);
+                    self.clock.sleep(delay);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -867,18 +879,21 @@ impl<T: Transport> Client<T> {
 
     /// Marks the start of an outage (first transient failure).
     fn note_outage(&mut self) {
+        let now_ns = self.clock.now_ns();
         if let Some(r) = self.resilience.as_mut() {
-            r.outage_started.get_or_insert_with(Instant::now);
+            r.outage_started_ns.get_or_insert(now_ns);
         }
     }
 
     /// Marks recovery; records the outage duration into the reconnect
     /// RTT histogram.
     fn note_recovery(&mut self) {
+        let now_ns = self.clock.now_ns();
         let Some(r) = self.resilience.as_mut() else { return };
-        if let Some(started) = r.outage_started.take() {
+        if let Some(started_ns) = r.outage_started_ns.take() {
             if let Some(m) = &self.meter {
-                m.reconnect_rtt.record_duration(started.elapsed());
+                m.reconnect_rtt
+                    .record_duration(Duration::from_nanos(now_ns.saturating_sub(started_ns)));
             }
         }
     }

@@ -1,0 +1,154 @@
+//! Time as a capability: every timestamp and sleep in the runtime goes
+//! through a [`Clock`], so a test can substitute a [`VirtualClock`] and
+//! make an entire server+fleet+fault run a pure function of its inputs.
+//!
+//! Production code uses [`SystemClock`] (monotonic, anchored at process
+//! start); the `sa-verify` harness uses [`VirtualClock`], whose `sleep`
+//! *advances* simulated time instead of blocking the thread. Under a
+//! virtual clock the injected chaos delays and client backoff sleeps
+//! cost zero wall-clock time and produce identical timestamps on every
+//! run — the foundation of the deterministic-replay argument (see
+//! DESIGN.md S13 for what the trait does and does not cover).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic nanosecond timestamps and a sleep primitive.
+///
+/// Implementations must be monotonic: `now_ns` never decreases. The
+/// zero point is arbitrary (process start for [`SystemClock`], zero for
+/// [`VirtualClock`]); only differences are meaningful.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since the clock's arbitrary origin.
+    fn now_ns(&self) -> u64;
+
+    /// Waits for `d` — by blocking the thread ([`SystemClock`]) or by
+    /// advancing simulated time ([`VirtualClock`]).
+    fn sleep(&self, d: Duration);
+
+    /// Duration elapsed since an earlier `now_ns` reading.
+    fn elapsed_since(&self, start_ns: u64) -> Duration {
+        Duration::from_nanos(self.now_ns().saturating_sub(start_ns))
+    }
+}
+
+/// A shareable clock handle (the runtime stores and clones these).
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The real monotonic clock, anchored at construction time.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> SystemClock {
+        SystemClock { origin: Instant::now() }
+    }
+
+    /// A fresh [`SystemClock`] behind a [`SharedClock`] handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A simulated clock: time only moves when someone sleeps on it (or
+/// calls [`VirtualClock::advance`]). `sleep` never blocks.
+///
+/// Concurrent sleepers each advance the clock by their own duration —
+/// simulated time is a monotonic counter, not a scheduler. That is the
+/// right semantic for the deterministic harness, where a single driver
+/// thread owns all client-side sleeps.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// A fresh [`VirtualClock`] behind a [`SharedClock`] handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(VirtualClock::new())
+    }
+
+    /// Moves simulated time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.now_ns.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_sleeps() {
+        let clock = SystemClock::new();
+        let a = clock.now_ns();
+        clock.sleep(Duration::from_millis(1));
+        let b = clock.now_ns();
+        assert!(b > a, "sleep must advance the system clock");
+        assert!(clock.elapsed_since(a) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        let wall = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(1), "virtual sleep must not block");
+        assert_eq!(clock.now_ns(), 3_600_000_000_000);
+        clock.advance(Duration::from_nanos(5));
+        assert_eq!(clock.elapsed_since(3_600_000_000_000), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn virtual_runs_are_reproducible() {
+        let run = || {
+            let clock = VirtualClock::new();
+            let mut stamps = Vec::new();
+            for i in 0..10u64 {
+                clock.sleep(Duration::from_nanos(i * 7));
+                stamps.push(clock.now_ns());
+            }
+            stamps
+        };
+        assert_eq!(run(), run(), "the same sleep schedule must stamp identically");
+    }
+}

@@ -25,6 +25,12 @@
 //! exchange recovers lost trigger deliveries from the server's
 //! per-session delivery log.
 //!
+//! All timing — router entry stamps, shard queue waits, injected chaos
+//! delays, client backoff sleeps — goes through the [`clock::Clock`]
+//! trait, so the `sa-verify` harness can substitute a
+//! [`clock::VirtualClock`] and make an entire server+fleet+fault run
+//! deterministic.
+//!
 //! The layering, bottom-up:
 //!
 //! ```text
@@ -45,6 +51,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod clock;
 pub mod replay;
 pub mod server;
 pub mod shard;
@@ -57,6 +64,7 @@ pub use chaos::{
     FaultyTransport, InjectedCounts,
 };
 pub use client::{Backoff, Client, ClientStats, ResiliencePolicy};
+pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
 pub use replay::{
     replay, replay_batched_in_proc, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome,
 };

@@ -15,6 +15,7 @@
 //! no cycle exists.
 
 use crate::cache::{CacheStats, RegionCache};
+use crate::clock::{SharedClock, SystemClock};
 use crate::shard::{shard_of_index, Job, JobPayload, ShardIndex, ShardPool, ShardUpdate, SubmitError};
 use crate::wire::{
     dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, Request, Response,
@@ -29,7 +30,6 @@ use sa_obs::{Counter, Histogram, Registry, TraceRing};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Error codes carried by [`Response::Error`].
 pub mod error_code {
@@ -174,6 +174,9 @@ struct Core {
     /// `num_shards`).
     tracer: TraceRing,
     next_session: AtomicU32,
+    /// Every timestamp the runtime takes reads this clock — swap in a
+    /// [`crate::clock::VirtualClock`] and timings become simulated.
+    clock: SharedClock,
 }
 
 /// Ring capacity per shard of the server's [`TraceRing`].
@@ -208,6 +211,27 @@ impl Server {
         alarms: Vec<SpatialAlarm>,
         v_max: f64,
         config: ServerConfig,
+    ) -> Arc<Server> {
+        Server::start_with_clock(grid, alarms, v_max, config, SystemClock::shared())
+    }
+
+    /// [`Server::start`] with an explicit [`SharedClock`]. Every
+    /// timestamp the server takes (router entry, shard queue wait,
+    /// safe-region compute timing, cache lookups, wire codec timing on
+    /// the attached transports) reads this clock, so a
+    /// [`crate::clock::VirtualClock`] makes the whole run's timing
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v_max` is not positive or the config has zero shards
+    /// or queue capacity.
+    pub fn start_with_clock(
+        grid: Grid,
+        alarms: Vec<SpatialAlarm>,
+        v_max: f64,
+        config: ServerConfig,
+        clock: SharedClock,
     ) -> Arc<Server> {
         assert!(v_max > 0.0, "maximum speed must be positive");
         assert!(config.num_shards > 0, "need at least one shard");
@@ -245,6 +269,7 @@ impl Server {
             tracer: TraceRing::new(config.num_shards + 1, TRACE_RING_CAPACITY),
             registry,
             next_session: AtomicU32::new(1),
+            clock,
             grid,
         });
 
@@ -266,8 +291,13 @@ impl Server {
                 }
             }
         });
-        let pool =
-            ShardPool::spawn(config.num_shards, config.queue_capacity, handler, &core.registry);
+        let pool = ShardPool::spawn(
+            config.num_shards,
+            config.queue_capacity,
+            handler,
+            &core.registry,
+            Arc::clone(&core.clock),
+        );
         Arc::new(Server { core, pool: RwLock::new(Some(pool)) })
     }
 
@@ -321,6 +351,12 @@ impl Server {
         &self.core.metrics
     }
 
+    /// The clock every runtime timestamp reads (the transports time
+    /// their codec work against it too).
+    pub fn clock(&self) -> &SharedClock {
+        &self.core.clock
+    }
+
     /// Routes one request and returns its full response sequence: zero or
     /// more trigger deliveries followed by one terminal response.
     pub fn handle(&self, session: u32, req: Request) -> Vec<Response> {
@@ -353,7 +389,7 @@ impl Server {
             req @ (Request::LocationUpdate { .. } | Request::Resync { .. }) => {
                 let (x_fx, y_fx) =
                     req.position_fx().expect("position-bearing requests carry coordinates");
-                let entered = Instant::now();
+                let entered_ns = self.core.clock.now_ns();
                 if !self.core.session_exists(session) {
                     return vec![Response::Error { seq, code: error_code::NO_SESSION }];
                 }
@@ -361,7 +397,7 @@ impl Server {
                 let cell = self.core.grid.cell_of(pos);
                 let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
                 let (reply_tx, reply_rx) = unbounded();
-                let job = Job::new(session, req, reply_tx, entered);
+                let job = Job::new(session, req, reply_tx, entered_ns);
                 // Submit under the read guard, but wait for the reply
                 // outside it so shutdown() is never blocked behind a
                 // slow worker.
@@ -398,7 +434,10 @@ impl Server {
                     .unwrap_or_else(|| {
                         vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
                     });
-                self.core.metrics.update_rtt.record_duration(entered.elapsed());
+                self.core
+                    .metrics
+                    .update_rtt
+                    .record_duration(self.core.clock.elapsed_since(entered_ns));
                 out
             }
             Request::Batch { seq, updates } => self.handle_batch(seq, updates),
@@ -413,7 +452,7 @@ impl Server {
     /// without touching any shard. The wall clock is read exactly once,
     /// at entry, and threaded through every job.
     fn handle_batch(&self, seq: u32, updates: Vec<BatchedUpdate>) -> Vec<Response> {
-        let entered = Instant::now();
+        let entered_ns = self.core.clock.now_ns();
         let mut replies: Vec<BatchReply> = updates
             .iter()
             .map(|u| BatchReply { session: u.session, responses: Vec::new() })
@@ -465,7 +504,8 @@ impl Server {
                 match pool.as_ref() {
                     None => bounce(&mut replies, slice, false),
                     Some(pool) => {
-                        match pool.try_submit(shard, Job::batch(slice, reply_tx.clone(), entered)) {
+                        match pool.try_submit(shard, Job::batch(slice, reply_tx.clone(), entered_ns))
+                        {
                             Ok(()) => submitted += 1,
                             Err(SubmitError::Full(job)) => {
                                 let JobPayload::Batch(slice) = job.payload else {
@@ -497,7 +537,10 @@ impl Server {
             for (index, responses) in groups {
                 // Each batched update's round trip is the batch's: entry
                 // to its worker reply.
-                self.core.metrics.update_rtt.record_duration(entered.elapsed());
+                self.core
+                    .metrics
+                    .update_rtt
+                    .record_duration(self.core.clock.elapsed_since(entered_ns));
                 replies[index as usize].responses = responses;
             }
         }
@@ -734,10 +777,12 @@ impl Core {
                     .map(|v| v.region)
                     .collect();
                 self.metrics.region_computations.inc();
-                let started = Instant::now();
+                let started_ns = self.clock.now_ns();
                 let region =
                     MwpsrComputer::non_weighted().compute(pos, heading, cell_rect, &obstacles);
-                self.metrics.compute_hist(strategy).record_duration(started.elapsed());
+                self.metrics
+                    .compute_hist(strategy)
+                    .record_duration(self.clock.elapsed_since(started_ns));
                 out.push(Response::RectInstall {
                     seq,
                     cell: cell_word,
@@ -758,9 +803,11 @@ impl Core {
                 if prev == Some(cell) && !fired_now {
                     out.push(Response::Ack { seq });
                 } else {
-                    let started = Instant::now();
+                    let started_ns = self.clock.now_ns();
                     let region = self.pbsr_region(shard, user, cell, cell_rect, height);
-                    self.metrics.compute_hist(strategy).record_duration(started.elapsed());
+                    self.metrics
+                        .compute_hist(strategy)
+                        .record_duration(self.clock.elapsed_since(started_ns));
                     out.push(Response::BitmapInstall {
                         seq,
                         cell: cell_word,
@@ -769,7 +816,7 @@ impl Core {
                 }
             }
             StrategySpec::Opt => {
-                let started = Instant::now();
+                let started_ns = self.clock.now_ns();
                 let views = self.shard_indexes[shard].read().all_intersecting(user, cell_rect);
                 let fired = self.fired_for(user);
                 self.metrics.region_computations.inc();
@@ -782,12 +829,14 @@ impl Core {
                         rect: quantize_rect(v.region),
                     })
                     .collect();
-                self.metrics.compute_hist(strategy).record_duration(started.elapsed());
+                self.metrics
+                    .compute_hist(strategy)
+                    .record_duration(self.clock.elapsed_since(started_ns));
                 out.push(Response::AlarmPush { seq, cell: cell_word, alarms });
             }
             StrategySpec::SafePeriod => {
                 self.metrics.region_computations.inc();
-                let started = Instant::now();
+                let started_ns = self.clock.now_ns();
                 let fired = self.fired_for(user);
                 let (nearest, _) = self
                     .global_index
@@ -796,7 +845,9 @@ impl Core {
                 let universe = self.grid.universe();
                 let max_extent = universe.width().max(universe.height()) * 2.0;
                 let period_s = nearest.unwrap_or(max_extent) / self.v_max;
-                self.metrics.compute_hist(strategy).record_duration(started.elapsed());
+                self.metrics
+                    .compute_hist(strategy)
+                    .record_duration(self.clock.elapsed_since(started_ns));
                 // Flooring to milliseconds only shortens the silence —
                 // the safe direction.
                 let period_ms = ((period_s * 1_000.0).floor() as u64).min(SEQ_MASK as u64) as u32;
@@ -832,9 +883,11 @@ impl Core {
             // The user's obstacle set is exactly the cell's public set:
             // the cacheable case the paper precomputes offline.
             let cell_index = self.grid.cell_index(cell);
-            let lookup_started = Instant::now();
+            let lookup_started_ns = self.clock.now_ns();
             let cached = self.cache.lookup(cell_index, height);
-            self.metrics.cache_lookup.record_duration(lookup_started.elapsed());
+            self.metrics
+                .cache_lookup
+                .record_duration(self.clock.elapsed_since(lookup_started_ns));
             if let Some(region) = cached {
                 return region;
             }

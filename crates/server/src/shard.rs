@@ -13,6 +13,7 @@
 //! submission fails immediately and the router answers
 //! `Response::Overloaded` instead of blocking behind a slow shard.
 
+use crate::clock::SharedClock;
 use crate::wire::{Request, Response};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sa_alarms::{AlarmId, AlarmIndex, SpatialAlarm, SubscriberId};
@@ -21,7 +22,6 @@ use sa_obs::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Deterministic cell → shard mapping over flattened cell indexes.
 pub fn shard_of_index(cell_index: u64, num_shards: usize) -> usize {
@@ -191,23 +191,24 @@ pub struct Job {
     pub payload: JobPayload,
     /// Where the worker sends the indexed response sequences.
     pub reply: Sender<JobReply>,
-    /// When the request entered the router — stamped **once** at router
-    /// entry and threaded through, so the hot path pays a single clock
-    /// read per request instead of one per job hop. The dispatch-wait
-    /// histogram therefore measures router-entry→worker-pickup (queue
-    /// wait plus the router's constant-time fan-out work).
-    pub enqueued_at: Instant,
+    /// When the request entered the router, in the server clock's
+    /// nanoseconds — stamped **once** at router entry and threaded
+    /// through, so the hot path pays a single clock read per request
+    /// instead of one per job hop. The dispatch-wait histogram
+    /// therefore measures router-entry→worker-pickup (queue wait plus
+    /// the router's constant-time fan-out work).
+    pub enqueued_at_ns: u64,
 }
 
 impl Job {
     /// A single-request job carrying the router's entry timestamp.
-    pub fn new(session: u32, req: Request, reply: Sender<JobReply>, entered: Instant) -> Job {
-        Job { payload: JobPayload::Single { session, req }, reply, enqueued_at: entered }
+    pub fn new(session: u32, req: Request, reply: Sender<JobReply>, entered_ns: u64) -> Job {
+        Job { payload: JobPayload::Single { session, req }, reply, enqueued_at_ns: entered_ns }
     }
 
     /// A batch-slice job carrying the router's entry timestamp.
-    pub fn batch(updates: Vec<ShardUpdate>, reply: Sender<JobReply>, entered: Instant) -> Job {
-        Job { payload: JobPayload::Batch(updates), reply, enqueued_at: entered }
+    pub fn batch(updates: Vec<ShardUpdate>, reply: Sender<JobReply>, entered_ns: u64) -> Job {
+        Job { payload: JobPayload::Batch(updates), reply, enqueued_at_ns: entered_ns }
     }
 
     /// The single request inside a [`JobPayload::Single`] job, if any.
@@ -276,7 +277,8 @@ fn shard_meters(num_shards: usize, registry: &Registry) -> Vec<ShardMeter> {
 impl ShardPool {
     /// Spawns `num_shards` workers, each draining its own queue of
     /// capacity `queue_capacity` through `handler(shard, job)`, with
-    /// queue instrumentation registered on `registry`.
+    /// queue instrumentation registered on `registry`. Queue-wait
+    /// measurements read `clock` — the same clock that stamped the jobs.
     ///
     /// # Panics
     ///
@@ -286,6 +288,7 @@ impl ShardPool {
         queue_capacity: usize,
         handler: Arc<H>,
         registry: &Registry,
+        clock: SharedClock,
     ) -> ShardPool
     where
         H: Fn(usize, Job) + Send + Sync + 'static,
@@ -302,13 +305,14 @@ impl ShardPool {
             let handler = Arc::clone(&handler);
             let depth = meter.depth.clone();
             let dispatch_wait = dispatch_wait.clone();
+            let clock = Arc::clone(&clock);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("sa-shard-{shard}"))
                     .spawn(move || {
                         for job in rx.iter() {
                             depth.dec();
-                            dispatch_wait.record_duration(job.enqueued_at.elapsed());
+                            dispatch_wait.record_duration(clock.elapsed_since(job.enqueued_at_ns));
                             handler(shard, job);
                         }
                     })
@@ -456,7 +460,7 @@ mod tests {
         let registry = Registry::new();
         let pool = ShardPool::without_workers(2, 1, &registry);
         let (reply, _keep) = unbounded();
-        let job = |seq| Job::new(0, Request::Bye { seq }, reply.clone(), Instant::now());
+        let job = |seq| Job::new(0, Request::Bye { seq }, reply.clone(), 0);
         assert!(pool.try_submit(0, job(1)).is_ok());
         let start = std::time::Instant::now();
         match pool.try_submit(0, job(2)) {
@@ -484,7 +488,8 @@ mod tests {
                 .send(vec![(0, vec![Response::Error { seq, code: shard as u32 }])]);
         });
         let registry = Registry::new();
-        let pool = ShardPool::spawn(3, 4, handler, &registry);
+        let pool =
+            ShardPool::spawn(3, 4, handler, &registry, crate::clock::SystemClock::shared());
         assert_eq!(pool.num_shards(), 3);
         let (reply_tx, reply_rx) = unbounded();
         for shard in 0..3 {
@@ -494,7 +499,7 @@ mod tests {
                     1,
                     Request::Hello { seq: shard as u32, user: 0, strategy: StrategySpec::Mwpsr },
                     reply_tx.clone(),
-                    Instant::now(),
+                    0,
                 ),
             )
             .unwrap();
@@ -531,11 +536,10 @@ mod tests {
         let (reply, _keep) = unbounded();
         // Fill shard 1 to capacity, then push two more over the brim.
         for seq in 0..CAPACITY as u32 {
-            pool.try_submit(1, Job::new(0, Request::Bye { seq }, reply.clone(), Instant::now()))
-                .unwrap();
+            pool.try_submit(1, Job::new(0, Request::Bye { seq }, reply.clone(), 0)).unwrap();
         }
         for seq in 0..2 {
-            let job = Job::new(0, Request::Bye { seq: 100 + seq }, reply.clone(), Instant::now());
+            let job = Job::new(0, Request::Bye { seq: 100 + seq }, reply.clone(), 0);
             match pool.try_submit(1, job) {
                 Err(SubmitError::Full(_)) => {}
                 other => panic!("expected Full, got {other:?}"),
@@ -543,8 +547,7 @@ mod tests {
         }
         // One stray job on shard 2 so "only shard 1 spikes" is tested
         // against a non-idle sibling, not an empty pool.
-        pool.try_submit(2, Job::new(0, Request::Bye { seq: 7 }, reply.clone(), Instant::now()))
-            .unwrap();
+        pool.try_submit(2, Job::new(0, Request::Bye { seq: 7 }, reply.clone(), 0)).unwrap();
 
         let snap = registry.snapshot();
         assert_eq!(

@@ -18,7 +18,6 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Failure while exchanging one request.
 #[derive(Debug)]
@@ -110,14 +109,21 @@ impl Transport for InProcTransport {
     fn request(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
         // Round-trip the request through the codec before the server
         // sees it — the in-proc path must not skip quantization.
-        let decode_started = Instant::now();
+        let clock = Arc::clone(self.server.clock());
+        let decode_started_ns = clock.now_ns();
         let req = Request::decode(&req.encode())?;
-        self.server.metrics().wire_decode.record_duration(decode_started.elapsed());
+        self.server
+            .metrics()
+            .wire_decode
+            .record_duration(clock.elapsed_since(decode_started_ns));
         let mut out = Vec::new();
         for resp in self.server.handle(self.session, req) {
-            let encode_started = Instant::now();
+            let encode_started_ns = clock.now_ns();
             let bytes = resp.encode();
-            self.server.metrics().wire_encode.record_duration(encode_started.elapsed());
+            self.server
+                .metrics()
+                .wire_encode
+                .record_duration(clock.elapsed_since(encode_started_ns));
             let resp = Response::decode(&bytes)?;
             let terminal = resp.is_terminal();
             out.push(resp);
@@ -197,16 +203,17 @@ impl Drop for TcpServerHandle {
 fn serve_connection(server: Arc<Server>, mut stream: TcpStream) {
     let session = server.open_session();
     stream.set_nodelay(true).ok();
+    let clock = Arc::clone(server.clock());
     while let Ok(Some(body)) = read_frame(&mut stream) {
-        let decode_started = Instant::now();
+        let decode_started_ns = clock.now_ns();
         let decoded = Request::decode(&body);
-        server.metrics().wire_decode.record_duration(decode_started.elapsed());
+        server.metrics().wire_decode.record_duration(clock.elapsed_since(decode_started_ns));
         let Ok(req) = decoded else { break };
         let mut failed = false;
         for resp in server.handle(session, req) {
-            let encode_started = Instant::now();
+            let encode_started_ns = clock.now_ns();
             let bytes = resp.encode();
-            server.metrics().wire_encode.record_duration(encode_started.elapsed());
+            server.metrics().wire_encode.record_duration(clock.elapsed_since(encode_started_ns));
             if write_frame(&mut stream, &bytes).is_err() {
                 failed = true;
                 break;

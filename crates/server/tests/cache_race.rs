@@ -1,0 +1,103 @@
+//! Concurrency regression for [`sa_server::RegionCache`]: installers
+//! racing `bump_epoch` must keep the cache bounded (no leaked stale
+//! entries) and must never let a lookup resurrect an entry stamped with
+//! a superseded epoch.
+//!
+//! The dangerous interleaving is the insert TOCTOU: an installer reads
+//! the cell epoch, an alarm install bumps it, and the installer then
+//! stores a bitmap stamped with the old epoch. The entry may land in
+//! the map, but it must be unservable (epoch mismatch ⇒ miss) and must
+//! be bounded to one slot per `(cell, height)` pair.
+
+use sa_core::{BitmapSafeRegion, PyramidComputer, PyramidConfig};
+use sa_geometry::Rect;
+use sa_server::RegionCache;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+const CELLS: u64 = 4;
+const HEIGHTS: [u32; 2] = [2, 4];
+const ROUNDS: usize = 1_500;
+
+fn region(height: u32) -> BitmapSafeRegion {
+    let cell = Rect::new(0.0, 0.0, 9.0, 9.0).expect("static cell");
+    let alarm = Rect::new(1.0, 1.0, 2.0, 2.0).expect("static alarm");
+    PyramidComputer::new(PyramidConfig::three_by_three(height)).compute(cell, &[alarm])
+}
+
+#[test]
+fn racing_installs_and_bumps_stay_bounded_and_never_serve_stale_epochs() {
+    let cache = Arc::new(RegionCache::new());
+    let installers = 4;
+    let bumpers = 2;
+    let barrier = Arc::new(Barrier::new(installers + bumpers));
+    let templates: Vec<(u32, BitmapSafeRegion)> =
+        HEIGHTS.iter().map(|&h| (h, region(h))).collect();
+
+    let mut handles = Vec::new();
+    for worker in 0..installers {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        let templates = templates.clone();
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            for round in 0..ROUNDS {
+                let cell = ((worker + round) as u64) % CELLS;
+                for (height, template) in &templates {
+                    // Deliberate TOCTOU: the epoch is captured before the
+                    // (simulated) bitmap computation, during which bumper
+                    // threads race in.
+                    let epoch = cache.epoch(cell);
+                    thread::yield_now();
+                    cache.insert(cell, *height, epoch, template.clone());
+                    // A hit, when it happens, is by construction stamped
+                    // with the cell's current epoch; lookup itself must
+                    // never panic or serve across a bump.
+                    let _ = cache.lookup(cell, *height);
+                }
+            }
+        }));
+    }
+    for worker in 0..bumpers {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            for round in 0..ROUNDS {
+                cache.bump_epoch(((worker + round) as u64) % CELLS);
+                thread::yield_now();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no worker may panic");
+    }
+
+    let ceiling = (CELLS as usize) * HEIGHTS.len();
+    assert!(
+        cache.len() <= ceiling,
+        "racing installs leaked entries: {} live > {} (cells × heights)",
+        cache.len(),
+        ceiling
+    );
+
+    // Quiesce: one final bump per cell must drop every surviving entry —
+    // nothing stamped with an old epoch may ever be served again.
+    for cell in 0..CELLS {
+        cache.bump_epoch(cell);
+    }
+    assert_eq!(cache.len(), 0, "a bump must drop every entry of its cell");
+    for cell in 0..CELLS {
+        for &height in &HEIGHTS {
+            assert!(
+                cache.lookup(cell, height).is_none(),
+                "cell {cell} height {height} resurrected a stale entry"
+            );
+        }
+    }
+
+    // And the cache is still serviceable: a fresh insert at the current
+    // epoch hits.
+    cache.insert(0, HEIGHTS[0], cache.epoch(0), templates[0].1.clone());
+    assert!(cache.lookup(0, HEIGHTS[0]).is_some());
+}

@@ -1,0 +1,248 @@
+//! Known-bad frame corpus for the wire codec.
+//!
+//! Every rejection branch of `Request::decode` / `Response::decode` has
+//! a named corpus case: a byte frame committed under `tests/corpus/`
+//! plus the exact [`WireError`] it must produce. The table-driven test
+//! keeps the directory and the table in lockstep — a frame on disk with
+//! no table entry (or vice versa) fails the test, so a new rejection
+//! branch cannot land without a named corpus case.
+//!
+//! `regenerate_corpus` (ignored by default) rewrites the directory from
+//! the table: `cargo test -p sa-server --test wire_corpus -- --ignored`.
+
+use sa_server::wire::{Request, Response, WireError};
+use std::path::PathBuf;
+
+/// Which decoder the frame is aimed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Request,
+    Response,
+}
+
+struct Case {
+    /// File name under `tests/corpus/` (also names the branch).
+    name: &'static str,
+    direction: Direction,
+    bytes: Vec<u8>,
+    expected: WireError,
+}
+
+/// A frame head word: type nibble + 28-bit sequence.
+fn head(ty: u8, seq: u32) -> u32 {
+    (u32::from(ty) << 28) | (seq & 0x0FFF_FFFF)
+}
+
+/// A frame body from big-endian u32 words plus raw tail bytes.
+fn frame(words: &[u32], tail: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4 + tail.len());
+    for w in words {
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+    out.extend_from_slice(tail);
+    out
+}
+
+/// The full corpus: one case per rejection branch in `wire.rs`.
+fn corpus() -> Vec<Case> {
+    use Direction::{Request as Req, Response as Resp};
+    // Request types: 0=resync 1=hello 2=location 3=notify 4=install
+    // 5=remove 6=bye 7=stats 8=batch. Response types: 2=batch 7=stats
+    // 8=ack 9=rect 10=bitmap 11=push 12=delivery 13=grant 14=overloaded
+    // 15=error.
+    vec![
+        Case {
+            name: "req_empty_truncated",
+            direction: Req,
+            bytes: vec![],
+            expected: WireError::Truncated,
+        },
+        Case {
+            name: "req_short_head_truncated",
+            direction: Req,
+            bytes: vec![1, 2],
+            expected: WireError::Truncated,
+        },
+        Case {
+            name: "req_unknown_type",
+            direction: Req,
+            bytes: frame(&[head(9, 0)], &[]),
+            expected: WireError::UnknownType(9),
+        },
+        Case {
+            name: "req_trailing_bytes",
+            direction: Req,
+            bytes: frame(&[head(6, 1)], &[0xAA]),
+            expected: WireError::Malformed("trailing bytes"),
+        },
+        Case {
+            name: "req_hello_unknown_strategy_tag",
+            direction: Req,
+            bytes: frame(&[head(1, 1), 7, 99, 0], &[]),
+            expected: WireError::Malformed("unknown strategy tag"),
+        },
+        Case {
+            name: "req_hello_pyramid_height_zero",
+            direction: Req,
+            bytes: frame(&[head(1, 1), 7, 1, 0], &[]),
+            expected: WireError::Malformed("pyramid height out of range"),
+        },
+        Case {
+            name: "req_hello_pyramid_height_huge",
+            direction: Req,
+            bytes: frame(&[head(1, 1), 7, 1, 17], &[]),
+            expected: WireError::Malformed("pyramid height out of range"),
+        },
+        Case {
+            name: "req_install_truncated_rect",
+            direction: Req,
+            bytes: frame(&[head(4, 3), 42, 0, 10, 20], &[]),
+            expected: WireError::Truncated,
+        },
+        Case {
+            name: "req_batch_count_mismatch",
+            direction: Req,
+            // Claims two 20-byte entries, carries one.
+            bytes: frame(&[head(8, 1), 2, 5, 1, 10, 20, 0], &[]),
+            expected: WireError::Malformed("batch length mismatch"),
+        },
+        Case {
+            name: "req_batch_entry_seq_overflow",
+            direction: Req,
+            bytes: frame(&[head(8, 1), 1, 5, u32::MAX, 10, 20, 0], &[]),
+            expected: WireError::Malformed("entry sequence overflows 28 bits"),
+        },
+        Case {
+            name: "resp_short_head_truncated",
+            direction: Resp,
+            bytes: vec![0xFF, 0xFF, 0xFF],
+            expected: WireError::Truncated,
+        },
+        Case {
+            name: "resp_unknown_type",
+            direction: Resp,
+            bytes: frame(&[head(6, 0)], &[]),
+            expected: WireError::UnknownType(6),
+        },
+        Case {
+            name: "resp_trailing_bytes",
+            direction: Resp,
+            bytes: frame(&[head(8, 1)], &[0xBB]),
+            expected: WireError::Malformed("trailing bytes"),
+        },
+        Case {
+            name: "resp_bitmap_byte_len_mismatch",
+            direction: Resp,
+            // Claims 64 bits (8 bytes), carries 4.
+            bytes: frame(&[head(10, 2), 0, 64, 0xDEAD_BEEF], &[]),
+            expected: WireError::Malformed("bitmap byte length mismatch"),
+        },
+        Case {
+            name: "resp_push_len_mismatch",
+            direction: Resp,
+            // Claims three 20-byte pushed alarms, carries one.
+            bytes: frame(&[head(11, 2), 0, 3, 1, 0, 0, 10, 10], &[]),
+            expected: WireError::Malformed("alarm push length mismatch"),
+        },
+        Case {
+            name: "resp_stats_byte_len_mismatch",
+            direction: Resp,
+            bytes: frame(&[head(7, 1), 5], b"ok"),
+            expected: WireError::Malformed("stats byte length mismatch"),
+        },
+        Case {
+            name: "resp_stats_not_utf8",
+            direction: Resp,
+            bytes: frame(&[head(7, 1), 2], &[0xFF, 0xFE]),
+            expected: WireError::Malformed("stats text is not utf-8"),
+        },
+        Case {
+            name: "resp_batch_nested_batch",
+            direction: Resp,
+            // One group whose single nested response is itself a
+            // well-formed (empty) batch — rejected by the nesting check,
+            // not by the nested decode.
+            bytes: frame(&[head(2, 1), 1, 77, 1, 8, head(2, 0), 0], &[]),
+            expected: WireError::Malformed("batches do not nest"),
+        },
+        Case {
+            name: "resp_batch_inner_truncated",
+            direction: Resp,
+            // Nested length claims 64 bytes; none follow.
+            bytes: frame(&[head(2, 1), 1, 77, 1, 64], &[]),
+            expected: WireError::Truncated,
+        },
+        Case {
+            name: "resp_batch_oversized_alloc",
+            direction: Resp,
+            // A hostile group count (u32::MAX) with a tiny body: the
+            // decoder must cap its pre-allocation and fail on the bytes,
+            // not abort on an oversized Vec reservation.
+            bytes: frame(&[head(2, 1), u32::MAX], &[]),
+            expected: WireError::Truncated,
+        },
+    ]
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+#[test]
+fn every_corpus_frame_is_rejected_with_its_named_error() {
+    for case in corpus() {
+        let result = match case.direction {
+            Direction::Request => Request::decode(&case.bytes).map(|_| "request"),
+            Direction::Response => Response::decode(&case.bytes).map(|_| "response"),
+        };
+        assert_eq!(
+            result,
+            Err(case.expected.clone()),
+            "corpus case {} must be rejected with exactly its named error",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn corpus_directory_matches_the_table() {
+    let dir = corpus_dir();
+    let table = corpus();
+    for case in &table {
+        let path = dir.join(format!("{}.bin", case.name));
+        let on_disk = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "corpus file {} missing ({e}); regenerate with \
+                 `cargo test -p sa-server --test wire_corpus -- --ignored`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk, case.bytes,
+            "corpus file {} drifted from the table; regenerate it",
+            case.name
+        );
+    }
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("corpus directory must exist")
+        .map(|e| e.expect("readable entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".bin"))
+        .collect();
+    on_disk.sort();
+    let mut named: Vec<String> = table.iter().map(|c| format!("{}.bin", c.name)).collect();
+    named.sort();
+    assert_eq!(on_disk, named, "every corpus file needs a table entry and vice versa");
+}
+
+/// Rewrites `tests/corpus/` from the table. Run explicitly with
+/// `cargo test -p sa-server --test wire_corpus -- --ignored`.
+#[test]
+#[ignore = "regenerates the committed corpus directory"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("creating the corpus directory");
+    for case in corpus() {
+        std::fs::write(dir.join(format!("{}.bin", case.name)), &case.bytes)
+            .expect("writing a corpus frame");
+    }
+}

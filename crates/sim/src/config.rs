@@ -117,6 +117,22 @@ impl SimulationConfig {
         }
     }
 
+    /// A fuzz-sized slice for the `sa-verify` schedule fuzzer: the
+    /// smoke-test town with `vehicles` vehicles, `alarms` alarms and
+    /// `steps` one-second samples, every generator (fleet trips, alarm
+    /// workload) re-seeded from `seed` so a case is fully determined by
+    /// its four numbers.
+    pub fn fuzz_slice(vehicles: usize, alarms: usize, steps: u32, seed: u64) -> SimulationConfig {
+        let mut config = SimulationConfig::smoke_test();
+        config.fleet.vehicles = vehicles.max(1);
+        config.fleet.seed = seed;
+        config.workload.alarms = alarms.max(1);
+        config.workload.subscribers = config.fleet.vehicles as u32;
+        config.workload.seed = seed ^ 0xA1A2_A3A4_A5A6_A7A8;
+        config.duration_s = f64::from(steps.max(1));
+        config
+    }
+
     /// Number of simulation steps.
     pub fn steps(&self) -> usize {
         (self.duration_s / self.sample_period_s).round() as usize
@@ -205,6 +221,21 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn paper_fraction_rejects_overscale() {
         SimulationConfig::paper_fraction(1.5);
+    }
+
+    #[test]
+    fn fuzz_slice_is_valid_and_seeded() {
+        let c = SimulationConfig::fuzz_slice(3, 7, 40, 0xBEEF);
+        c.validate();
+        assert_eq!(c.fleet.vehicles, 3);
+        assert_eq!(c.workload.alarms, 7);
+        assert_eq!(c.workload.subscribers, 3);
+        assert_eq!(c.steps(), 40);
+        assert_eq!(c.fleet.seed, 0xBEEF);
+        // Zero-sized requests are clamped to runnable minimums.
+        let tiny = SimulationConfig::fuzz_slice(0, 0, 0, 1);
+        tiny.validate();
+        assert!(tiny.fleet.vehicles >= 1 && tiny.workload.alarms >= 1 && tiny.steps() >= 1);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! The deterministic schedule harness.
+//!
+//! [`FuzzCase`] is a complete description of one end-to-end run — fleet
+//! slice, alarm workload, strategy mix, fault plan, batching cadence and
+//! server sizing — derivable from a single `u64` seed
+//! ([`FuzzCase::from_seed`]). [`run_case`] executes it against the live
+//! `sa-server` stack on a [`VirtualClock`]: every timestamp, injected
+//! delay and backoff sleep advances simulated time instead of wall
+//! time, every RNG is seeded from the case, and the single driver
+//! thread exchanges requests synchronously — so the entire run,
+//! including its byte-level [`Transcript`], is a pure function of the
+//! case.
+//!
+//! Determinism boundary: shard workers run on real threads, but a
+//! synchronous driver keeps at most one per-request job in flight, and
+//! [`run_case`] sizes each shard queue to hold a whole batch fan-out,
+//! so `Overloaded` backpressure — the one response that depends on
+//! worker scheduling — can never occur. The transcript therefore never
+//! observes thread timing.
+
+use crate::oracle::check_transcript;
+use crate::transcript::{RecordingTransport, SharedTranscript, Transcript, DRIVER_TAG};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use sa_alarms::SubscriberId;
+use sa_roadnet::Fleet;
+use sa_server::wire::SEQ_MASK;
+use sa_server::{
+    Client, FaultLeg, FaultPlan, FaultyTransport, InProcTransport, Request, ResiliencePolicy,
+    Response, Server, ServerConfig, SharedClock, StrategySpec, Transport, TransportError,
+    VirtualClock,
+};
+use sa_sim::{FiredEvent, GroundTruth, SimulationConfig, SimulationHarness};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One fully-specified fuzz run: everything [`run_case`] needs, and
+/// nothing it reads from anywhere else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Master seed: world generation, fault RNG streams, interleaving.
+    pub seed: u64,
+    /// Fleet size (clamped to ≥ 1).
+    pub vehicles: usize,
+    /// Alarm workload size (clamped to ≥ 1).
+    pub alarms: usize,
+    /// Steps to drive (1 Hz sampling).
+    pub steps: u32,
+    /// Strategies assigned to vehicles round-robin.
+    pub strategies: Vec<StrategySpec>,
+    /// The fault schedule every client link runs under.
+    pub plan: FaultPlan,
+    /// Every `batch_every`-th step is driven as one [`Request::Batch`]
+    /// frame instead of per-client exchanges; `0` never batches. Only
+    /// meaningful under a clean plan — [`FuzzCase::from_seed`] never
+    /// combines batching with faults, because the chaos semantics
+    /// (retry, resync, degraded mode) are defined on the per-request
+    /// path.
+    pub batch_every: u32,
+    /// Server shard count.
+    pub num_shards: usize,
+    /// Requested shard queue capacity ([`run_case`] raises it to the
+    /// fleet size so backpressure stays scheduling-independent).
+    pub queue_capacity: usize,
+}
+
+impl FuzzCase {
+    /// Derives a complete case from one seed. The mapping is pure: the
+    /// same seed always yields the same case.
+    pub fn from_seed(seed: u64) -> FuzzCase {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0DE_5EED_F007_BA11);
+        let vehicles = rng.gen_range(2..=6usize);
+        let alarms = rng.gen_range(4..=48usize);
+        let steps = rng.gen_range(16..=72u32);
+        let pyramid_height = rng.gen_range(1..=5u32);
+        let rot = rng.gen_range(0..4usize);
+        let all = [
+            StrategySpec::Mwpsr,
+            StrategySpec::Pbsr { height: pyramid_height },
+            StrategySpec::Opt,
+            StrategySpec::SafePeriod,
+        ];
+        let strategies = (0..all.len()).map(|i| all[(i + rot) % all.len()]).collect();
+        let plan = match rng.gen_range(0..5u32) {
+            0 | 1 => FaultPlan::clean(),
+            2 => FaultPlan {
+                seed,
+                up: FaultLeg { drop: 0.10, duplicate: 0.02, delay: 0.05, max_delay: Duration::from_millis(40) },
+                down: FaultLeg { drop: 0.10, duplicate: 0.02, delay: 0.05, max_delay: Duration::from_millis(40) },
+                disconnect_steps: random_windows(&mut rng, steps),
+            },
+            3 => FaultPlan { seed, disconnect_steps: random_windows(&mut rng, steps), ..FaultPlan::clean() },
+            _ => FaultPlan::duplicating(seed),
+        };
+        let clean = plan == FaultPlan::clean();
+        let batch_every = if clean { rng.gen_range(0..3u32) } else { 0 };
+        FuzzCase {
+            seed,
+            vehicles,
+            alarms,
+            steps,
+            strategies,
+            plan,
+            batch_every,
+            num_shards: rng.gen_range(1..=4usize),
+            queue_capacity: rng.gen_range(8..=64usize),
+        }
+    }
+}
+
+/// Up to two disconnect windows of 2–6 steps inside `0..steps`.
+fn random_windows(rng: &mut SmallRng, steps: u32) -> Vec<std::ops::Range<u32>> {
+    let count = rng.gen_range(1..=2u32);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(2..=6u32);
+            let start = rng.gen_range(0..steps.saturating_sub(len).max(1));
+            start..start + len
+        })
+        .collect()
+}
+
+/// Everything one [`run_case`] execution produced.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// [`Transcript::digest`] of the run — the byte-identity witness.
+    pub digest: u64,
+    /// The full byte transcript.
+    pub transcript: Transcript,
+    /// Every firing observed by any client.
+    pub fired: Vec<FiredEvent>,
+    /// Diff against the simulator's ground truth restricted to the
+    /// replayed steps (the paper's 100%-accuracy requirement).
+    pub verification: Result<(), String>,
+    /// The transcript-level install-soundness oracle (every safe region,
+    /// alarm push and safe-period grant the server shipped, checked
+    /// against the brute-force reference).
+    pub oracle: Result<(), String>,
+    /// Total faults the chaos layer injected.
+    pub injected_total: u64,
+    /// Steps actually driven.
+    pub steps: u32,
+}
+
+impl CaseOutcome {
+    /// The first invariant violation, if any.
+    pub fn failure(&self) -> Option<String> {
+        match (&self.verification, &self.oracle) {
+            (Err(e), _) => Some(format!("ground-truth divergence: {e}")),
+            (_, Err(e)) => Some(format!("oracle violation: {e}")),
+            _ => None,
+        }
+    }
+
+    /// Panics with the violation when the run was not clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ground-truth diff or the install oracle failed.
+    pub fn assert_clean(&self) {
+        if let Some(e) = self.failure() {
+            panic!("fuzz case violated an invariant: {e}");
+        }
+    }
+}
+
+/// Fisher–Yates under the given RNG (the vendored `rand` has no
+/// `shuffle`; this mirrors `SliceRandom::shuffle`).
+fn shuffle<T>(items: &mut [T], rng: &mut SmallRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Overload retry rounds per batched step before giving up. Sized far
+/// above anything reachable: [`run_case`] sizes queues so `Overloaded`
+/// cannot occur, so a retry here already signals a bug worth failing on.
+const MAX_BATCH_ROUNDS: u32 = 10_000;
+
+/// Executes one [`FuzzCase`] end to end and returns its outcome.
+///
+/// # Errors
+///
+/// Fails when a client hits a non-transient transport error or the
+/// server violates the batch protocol.
+///
+/// # Panics
+///
+/// Panics when the case carries an empty strategy list.
+pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, TransportError> {
+    assert!(!case.strategies.is_empty(), "need at least one strategy to assign");
+    let config =
+        SimulationConfig::fuzz_slice(case.vehicles, case.alarms, case.steps, case.seed);
+    config.validate();
+    let harness = SimulationHarness::build(&config);
+    let dt = config.sample_period_s;
+    let steps = case.steps.max(1).min(config.steps() as u32);
+    let vehicles = config.fleet.vehicles as u32;
+
+    let vclock = Arc::new(VirtualClock::new());
+    let clock: SharedClock = vclock.clone();
+    let server = Server::start_with_clock(
+        harness.grid().clone(),
+        harness.index().alarms().to_vec(),
+        harness.v_max(),
+        ServerConfig {
+            num_shards: case.num_shards.max(1),
+            // A batched step submits up to one job per vehicle to a
+            // single shard queue before any reply is read; holding the
+            // whole fan-out keeps Overloaded — the one
+            // scheduling-dependent response — unreachable.
+            queue_capacity: case.queue_capacity.max(vehicles as usize),
+        },
+        Arc::clone(&clock),
+    );
+
+    let log: SharedTranscript = Arc::new(Mutex::new(Transcript::new()));
+    let mut controls = Vec::with_capacity(vehicles as usize);
+    let mut counts = Vec::with_capacity(vehicles as usize);
+    let mut sessions = Vec::with_capacity(vehicles as usize);
+    let mut strategies = Vec::with_capacity(vehicles as usize);
+    let mut clients: Vec<Client<RecordingTransport<FaultyTransport<InProcTransport>>>> = (0
+        ..vehicles)
+        .map(|v| {
+            let strategy = case.strategies[v as usize % case.strategies.len()];
+            strategies.push(strategy);
+            let inner = InProcTransport::connect(Arc::clone(&server));
+            sessions.push(inner.session());
+            let faulty = FaultyTransport::new(inner, case.plan.clone(), u64::from(v))
+                .with_clock(Arc::clone(&clock));
+            controls.push(faulty.controls());
+            counts.push(faulty.counts());
+            let recording = RecordingTransport::new(faulty, v, Arc::clone(&log));
+            let mut client = Client::connect(
+                recording,
+                SubscriberId(v),
+                strategy,
+                harness.grid().clone(),
+                dt,
+            )?;
+            client.set_clock(Arc::clone(&clock));
+            client.enable_resilience(ResiliencePolicy::standard(
+                case.seed ^ 0xBACC_0FF5 ^ u64::from(v),
+            ));
+            Ok(client)
+        })
+        .collect::<Result<_, TransportError>>()?;
+    let mut driver = RecordingTransport::new(
+        InProcTransport::connect(Arc::clone(&server)),
+        DRIVER_TAG,
+        Arc::clone(&log),
+    );
+
+    // Handshakes are done — arm the fault plan.
+    for c in &controls {
+        c.set_armed(true);
+    }
+
+    let mut fleet = Fleet::new(harness.network(), &config.fleet);
+    let mut samples = Vec::new();
+    let mut order_rng = SmallRng::seed_from_u64(case.seed ^ 0x0D0E_0A0D_0F00_D5ED);
+    let mut was_down = false;
+    let mut batch_seq = 0u32;
+
+    for step in 0..steps {
+        vclock.advance(Duration::from_secs_f64(dt));
+        let down = case.plan.disconnected_at(step);
+        if down != was_down {
+            for c in &controls {
+                c.set_link_down(down);
+            }
+            was_down = down;
+        }
+        fleet.step_into(dt, &mut samples);
+        // The seeded scheduler interleaving: clients are visited in a
+        // fresh pseudo-random order each step (and batched entries are
+        // submitted in that order), so shared server state — cache
+        // epochs, session delivery logs — is exercised under many
+        // arrival orders while staying a function of the seed.
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        shuffle(&mut order, &mut order_rng);
+
+        if case.batch_every > 0 && step % case.batch_every == 0 {
+            let mut entries = Vec::new();
+            let mut owners = Vec::new();
+            for &i in &order {
+                let s = &samples[i];
+                let v = s.vehicle.0 as usize;
+                if let Some(entry) =
+                    clients[v].poll_update(sessions[v], step, s.pos, s.heading, s.speed)?
+                {
+                    entries.push(entry);
+                    owners.push(v);
+                }
+            }
+            let mut rounds = 0u32;
+            while !entries.is_empty() {
+                rounds += 1;
+                if rounds > MAX_BATCH_ROUNDS {
+                    return Err(TransportError::Protocol("server stayed overloaded"));
+                }
+                batch_seq = (batch_seq + 1) & SEQ_MASK;
+                let resps =
+                    driver.request(Request::Batch { seq: batch_seq, updates: entries.clone() })?;
+                let replies = match resps.into_iter().next() {
+                    Some(Response::Batch { seq, replies }) if seq == batch_seq => replies,
+                    _ => {
+                        return Err(TransportError::Protocol(
+                            "batch request answered without a batch reply",
+                        ))
+                    }
+                };
+                if replies.len() != entries.len() {
+                    return Err(TransportError::Protocol("batch reply count mismatch"));
+                }
+                let mut retry_entries = Vec::new();
+                let mut retry_owners = Vec::new();
+                for ((reply, &owner), &entry) in replies.into_iter().zip(&owners).zip(&entries) {
+                    if reply.session != entry.session {
+                        return Err(TransportError::Protocol("batch reply session mismatch"));
+                    }
+                    if !clients[owner].complete_update(reply.responses)? {
+                        retry_entries.push(entry);
+                        retry_owners.push(owner);
+                    }
+                }
+                entries = retry_entries;
+                owners = retry_owners;
+            }
+        } else {
+            for &i in &order {
+                let s = &samples[i];
+                clients[s.vehicle.0 as usize].observe(step, s.pos, s.heading, s.speed)?;
+            }
+        }
+    }
+
+    // The outage is over: restore every link and drain the backlogs.
+    for c in &controls {
+        c.set_link_down(false);
+        c.set_armed(false);
+    }
+    for client in &mut clients {
+        client.finish()?;
+    }
+
+    let mut fired = Vec::new();
+    for client in &mut clients {
+        fired.extend(client.take_fired());
+    }
+
+    let expected: Vec<FiredEvent> = harness
+        .ground_truth()
+        .events()
+        .iter()
+        .filter(|e| e.step < steps)
+        .cloned()
+        .collect();
+    let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
+        let dump = server.trace_dump();
+        if dump.is_empty() {
+            e
+        } else {
+            format!("{e}\nserver trace ring:\n{dump}")
+        }
+    });
+    let injected_total: u64 = counts.iter().map(|c| c.total()).sum();
+    server.shutdown();
+
+    let transcript = log.lock().expect("transcript lock poisoned").clone();
+    let oracle = check_transcript(&transcript, &harness, &sessions, &strategies);
+    Ok(CaseOutcome {
+        digest: transcript.digest(),
+        transcript,
+        fired,
+        verification,
+        oracle,
+        injected_total,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_pure_and_varies() {
+        let a = FuzzCase::from_seed(7);
+        assert_eq!(a, FuzzCase::from_seed(7));
+        let b = FuzzCase::from_seed(8);
+        assert_ne!(a, b);
+        assert!(a.vehicles >= 1 && a.steps >= 1 && !a.strategies.is_empty());
+    }
+
+    #[test]
+    fn seeds_cover_clean_and_faulty_plans_and_batching() {
+        let cases: Vec<FuzzCase> = (0..64).map(FuzzCase::from_seed).collect();
+        assert!(cases.iter().any(|c| c.plan == FaultPlan::clean()));
+        assert!(cases.iter().any(|c| c.plan != FaultPlan::clean()));
+        assert!(cases.iter().any(|c| c.batch_every > 0));
+        // Batching never rides on a faulty plan (chaos semantics are
+        // per-request).
+        assert!(cases
+            .iter()
+            .all(|c| c.batch_every == 0 || c.plan == FaultPlan::clean()));
+    }
+
+    #[test]
+    fn a_tiny_clean_case_runs_clean() {
+        let case = FuzzCase {
+            seed: 11,
+            vehicles: 2,
+            alarms: 8,
+            steps: 20,
+            strategies: vec![StrategySpec::Mwpsr, StrategySpec::Pbsr { height: 2 }],
+            plan: FaultPlan::clean(),
+            batch_every: 2,
+            num_shards: 2,
+            queue_capacity: 8,
+        };
+        let outcome = run_case(&case).expect("transport must hold");
+        outcome.assert_clean();
+        assert!(!outcome.transcript.entries().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! The determinism gate: a [`sa_verify::FuzzCase`] is a pure function
+//! of its seed. Same seed ⇒ byte-identical transcript (not merely an
+//! equal digest), including under an armed chaos fault plan; different
+//! seeds must diverge.
+
+use sa_server::FaultPlan;
+use sa_verify::{run_case, CaseOutcome, FuzzCase};
+
+fn run(case: &FuzzCase) -> CaseOutcome {
+    run_case(case).expect("transport must hold under the harness")
+}
+
+fn assert_reproducible(case: &FuzzCase) {
+    let first = run(case);
+    for round in 0..2 {
+        let again = run(case);
+        assert_eq!(
+            first.digest, again.digest,
+            "round {round}: digest diverged for seed {}",
+            case.seed
+        );
+        assert_eq!(
+            first.transcript, again.transcript,
+            "round {round}: transcript diverged beyond the digest for seed {}",
+            case.seed
+        );
+        assert_eq!(first.fired, again.fired, "round {round}: fired set diverged");
+        assert_eq!(
+            first.injected_total, again.injected_total,
+            "round {round}: chaos injection count diverged"
+        );
+    }
+    first.assert_clean();
+}
+
+#[test]
+fn clean_runs_are_byte_identical() {
+    for seed in [3, 17, 101] {
+        let mut case = FuzzCase::from_seed(seed);
+        case.plan = FaultPlan::clean();
+        assert_reproducible(&case);
+    }
+}
+
+#[test]
+fn chaos_runs_are_byte_identical() {
+    // A hand-built lossy case: drops, duplicates, delays and a
+    // disconnect window, all riding the virtual clock.
+    let mut case = FuzzCase::from_seed(29);
+    case.vehicles = 3;
+    case.alarms = 16;
+    case.steps = 40;
+    case.plan = FaultPlan::lossy(29);
+    case.plan.disconnect_steps = vec![10..14, 25..28];
+    case.batch_every = 0;
+    assert_reproducible(&case);
+}
+
+#[test]
+fn batched_runs_are_byte_identical() {
+    let mut case = FuzzCase::from_seed(57);
+    case.plan = FaultPlan::clean();
+    case.batch_every = 2;
+    assert_reproducible(&case);
+}
+
+#[test]
+fn fuzzed_cases_straight_from_seeds_are_byte_identical() {
+    for seed in 200..206u64 {
+        assert_reproducible(&FuzzCase::from_seed(seed));
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_transcripts() {
+    let a = run(&FuzzCase::from_seed(1000));
+    let b = run(&FuzzCase::from_seed(1001));
+    assert_ne!(a.digest, b.digest, "distinct seeds should not collide");
+    assert_ne!(a.transcript, b.transcript);
+}

@@ -1,0 +1,119 @@
+//! Meta-test: the verification machinery must actually catch bugs.
+//!
+//! A scratch copy of the GBSR finest-level mask computation carries an
+//! intentionally injected off-by-one — the rasterized end column of an
+//! obstacle is floored instead of ceiled, so a partially covered
+//! rightmost column is wrongly freed. The reference oracle
+//! (`sa_core::oracle::reference_free_mask`, which shares no code with
+//! the rasterization) must flag it, [`sa_verify::shrink_elements`] must
+//! reduce the obstacle set to a minimal reproducer, and
+//! [`sa_verify::test_artifact`] must render it as a paste-ready test.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use sa_core::oracle::reference_free_mask;
+use sa_geometry::Rect;
+use sa_verify::{shrink_elements, test_artifact};
+
+/// Finest granularity of a 3×3 pyramid of height 2.
+const SIDE: u32 = 9;
+
+fn cell() -> Rect {
+    Rect::new(0.0, 0.0, 900.0, 900.0).expect("static cell")
+}
+
+/// The scratch mask computer. `buggy` injects the off-by-one; with it
+/// off, this is an independent re-derivation of the reference mask.
+fn rasterized_free_mask(cell: Rect, obstacles: &[Rect], side: u32, buggy: bool) -> Vec<bool> {
+    let w = cell.width() / f64::from(side);
+    let h = cell.height() / f64::from(side);
+    let clamp = |v: f64| v.clamp(0.0, f64::from(side));
+    let mut free = vec![true; (side * side) as usize];
+    for o in obstacles {
+        let c0 = clamp(((o.min_x() - cell.min_x()) / w).floor()) as u32;
+        let c1 = if buggy {
+            // Injected off-by-one: the end column must round *up* so a
+            // partially covered rightmost column stays blocked.
+            clamp(((o.max_x() - cell.min_x()) / w).floor()) as u32
+        } else {
+            clamp(((o.max_x() - cell.min_x()) / w).ceil()) as u32
+        };
+        let r0 = clamp(((o.min_y() - cell.min_y()) / h).floor()) as u32;
+        let r1 = clamp(((o.max_y() - cell.min_y()) / h).ceil()) as u32;
+        for row in r0..r1.min(side) {
+            for col in c0..c1.min(side) {
+                free[(row * side + col) as usize] = false;
+            }
+        }
+    }
+    free
+}
+
+/// The first subcell the buggy mask wrongly frees, if any.
+fn wrongly_freed(obstacles: &[Rect]) -> Option<usize> {
+    let reference = reference_free_mask(cell(), obstacles, SIDE);
+    let buggy = rasterized_free_mask(cell(), obstacles, SIDE, true);
+    (0..reference.len()).find(|&i| buggy[i] && !reference[i])
+}
+
+fn fuzz_obstacles(seed: u64) -> Vec<Rect> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0FFB_100E);
+    let c = cell();
+    (0..6)
+        .map(|_| {
+            let hw = rng.gen_range(10.0..200.0f64);
+            let hh = rng.gen_range(10.0..200.0f64);
+            let cx = rng.gen_range(c.min_x()..c.max_x());
+            let cy = rng.gen_range(c.min_y()..c.max_y());
+            Rect::new(cx - hw, cy - hh, cx + hw, cy + hh).expect("positive extents")
+        })
+        .collect()
+}
+
+#[test]
+fn the_unbugged_scratch_computer_matches_the_reference() {
+    for seed in 0..32 {
+        let obstacles = fuzz_obstacles(seed);
+        let reference = reference_free_mask(cell(), &obstacles, SIDE);
+        let honest = rasterized_free_mask(cell(), &obstacles, SIDE, false);
+        assert_eq!(reference, honest, "seed {seed}: independent derivations must agree");
+    }
+}
+
+#[test]
+fn the_injected_off_by_one_is_caught_and_shrunk_to_a_reproducer() {
+    // Fuzz until the oracle catches the bug — with random obstacle
+    // edges, a partially covered rightmost column is near-certain.
+    let (seed, obstacles) = (0..64)
+        .map(|seed| (seed, fuzz_obstacles(seed)))
+        .find(|(_, obs)| wrongly_freed(obs).is_some())
+        .expect("the off-by-one must be caught within the seed budget");
+
+    // Shrink the obstacle set while the disagreement survives.
+    let minimal = shrink_elements(&obstacles, |subset| wrongly_freed(subset).is_some());
+    assert!(!minimal.is_empty());
+    assert!(wrongly_freed(&minimal).is_some(), "the shrunk set must still fail");
+    assert_eq!(minimal.len(), 1, "the off-by-one reproduces with a single obstacle");
+
+    // Render the minimal case as a #[test]-shaped artifact.
+    let subcell = wrongly_freed(&minimal).expect("still failing");
+    let violation = format!(
+        "seed {seed}: buggy rasterizer frees subcell {subcell} that the reference mask blocks \
+         (obstacle {:?})",
+        minimal[0]
+    );
+    let body = format!(
+        "let cell = sa_geometry::Rect::new(0.0, 0.0, 900.0, 900.0).unwrap();\n\
+         let obstacle = sa_geometry::Rect::new({:?}, {:?}, {:?}, {:?}).unwrap();\n\
+         let mask = sa_core::oracle::reference_free_mask(cell, &[obstacle], {SIDE});\n\
+         assert!(!mask[{subcell}], \"the reference blocks what the buggy rasterizer freed\");",
+        minimal[0].min_x(),
+        minimal[0].min_y(),
+        minimal[0].max_x(),
+        minimal[0].max_y(),
+    );
+    let artifact = test_artifact("gbsr_off_by_one_minimized", &violation, &body);
+    assert!(artifact.contains("#[test]"));
+    assert!(artifact.contains("fn gbsr_off_by_one_minimized()"));
+    assert!(artifact.contains("reference_free_mask"));
+    assert!(artifact.starts_with("// Minimized reproducer emitted by sa-verify."));
+}
