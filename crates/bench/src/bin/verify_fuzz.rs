@@ -3,9 +3,11 @@
 //! Runs the cheap differential oracle over a wide seed range, then
 //! drives a slice of end-to-end schedule seeds through the full
 //! deterministic harness (virtual clock, chaos plans, batching, the
-//! transcript oracle). Any violation is minimized, rendered as a
-//! `#[test]` reproducer next to the report, and turns the exit code
-//! nonzero so the CI job fails loudly.
+//! transcript oracle), then the named federation schedules (partition
+//! handoff during a disconnect window, repartition during a batch
+//! cadence — each run twice for digest determinism). Any violation is
+//! minimized, rendered as a `#[test]` reproducer next to the report,
+//! and turns the exit code nonzero so the CI job fails loudly.
 //!
 //! Usage: `verify_fuzz [--seeds N] [--schedule-seeds N] [--start S]
 //! [--budget-s SECS] [--out PATH]`
@@ -14,6 +16,7 @@
 //! the budget are skipped (and counted in the report) rather than
 //! failing the run, so a slow CI runner degrades coverage, not health.
 
+use sa_fed::{gating_cases, run_fed_case};
 use sa_verify::{differential_seed, fuzz_schedule};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -105,6 +108,24 @@ fn main() {
     }
     let schedule_seconds = schedule_started.elapsed().as_secs_f64();
 
+    // Phase 3: the named federation schedules. Pinned configs, each run
+    // twice inside `run_fed_case` (exactness + digest determinism +
+    // scenario coverage); small enough that the budget is not consulted.
+    let fed_started = Instant::now();
+    let mut fed_failures: Vec<String> = Vec::new();
+    let mut fed_cases: Vec<(sa_fed::FedCaseOutcome, bool)> = Vec::new();
+    for case in gating_cases() {
+        let outcome = run_fed_case(&case);
+        let passed = outcome.passed();
+        if let Some(failure) = &outcome.failure {
+            let v = format!("federation case '{}': {failure}", outcome.name);
+            eprintln!("FEDERATION VIOLATION: {v}");
+            fed_failures.push(v);
+        }
+        fed_cases.push((outcome, passed));
+    }
+    let fed_seconds = fed_started.elapsed().as_secs_f64();
+
     // Emit each minimized reproducer next to the report.
     for f in &report.failures {
         let path = opts.out.with_file_name(format!("repro_seed_{}.rs", f.seed));
@@ -121,11 +142,31 @@ fn main() {
     let _ = writeln!(json, "  \"schedule_seeds_skipped_budget\": {skipped},");
     let _ = writeln!(json, "  \"schedule_seconds\": {schedule_seconds:.3},");
     let _ = writeln!(json, "  \"start\": {},", opts.start);
+    let _ = writeln!(json, "  \"federation_seconds\": {fed_seconds:.3},");
+    let _ = writeln!(json, "  \"federation_cases\": [");
+    for (i, (outcome, passed)) in fed_cases.iter().enumerate() {
+        let comma = if i + 1 == fed_cases.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"passed\": {passed}, \"digest\": \"{:#018x}\", \
+             \"deterministic\": {}, \"handoffs\": {}, \"redirects\": {}, \
+             \"repartitioned\": {}, \"injected\": {} }}{comma}",
+            outcome.name,
+            outcome.digest,
+            outcome.deterministic,
+            outcome.handoffs,
+            outcome.redirects,
+            outcome.repartitioned,
+            outcome.injected
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"failures\": [");
     let all: Vec<String> = differential_failures
         .iter()
         .cloned()
         .chain(report.failures.iter().map(|f| f.violation.clone()))
+        .chain(fed_failures.iter().cloned())
         .collect();
     for (i, v) in all.iter().enumerate() {
         let comma = if i + 1 == all.len() { "" } else { "," };
@@ -135,15 +176,17 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&opts.out, &json).expect("writing the fuzz report");
 
-    let clean = differential_failures.is_empty() && report.is_clean();
+    let clean = differential_failures.is_empty() && report.is_clean() && fed_failures.is_empty();
     println!(
         "verify_fuzz: {} differential seeds in {:.1}s, {} schedule seeds in {:.1}s \
-         ({} skipped by budget), {} violations → {}",
+         ({} skipped by budget), {} federation cases in {:.1}s, {} violations → {}",
         opts.seeds,
         differential_seconds,
         report.seeds_run,
         schedule_seconds,
         skipped,
+        fed_cases.len(),
+        fed_seconds,
         all.len(),
         opts.out.display()
     );

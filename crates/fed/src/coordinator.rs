@@ -1,0 +1,213 @@
+//! The live repartitioning coordinator.
+//!
+//! The coordinator owns the authoritative [`PartitionMap`]. Fed with
+//! the federation-wide per-cell load readout (the
+//! `sa_cell_updates_total` counters every member keeps), it re-cuts
+//! the map when the observed load distribution has drifted from the
+//! current cut and pushes the new epoch to every member over ordinary
+//! transports — so the same [`FaultyTransport`](sa_server::FaultyTransport)
+//! chaos decorator that fuzzes client links fuzzes the coordinator.
+//!
+//! Failure model (see DESIGN.md §14 for the recovery table): every
+//! `InstallTopology` push is idempotent under the epoch guard — members
+//! ignore stale epochs and ack — so a push interrupted by a transient
+//! fault is simply retried. Until a member has accepted the new epoch
+//! it keeps bouncing by its old map; routers heal those bounces through
+//! the `WrongOwner` redirect path, so a partially propagated epoch
+//! degrades to extra redirects, never to misdelivery.
+
+use crate::topology::PartitionMap;
+use sa_geometry::Grid;
+use sa_server::wire::{Request, Response, SEQ_MASK};
+use sa_server::{SharedClock, Transport, TransportError};
+use std::time::Duration;
+
+/// Transient-failure retries per member before a push attempt fails.
+const PUSH_RETRIES: u32 = 8;
+
+/// Flat pause between push retries (virtual under a test clock).
+const PUSH_RETRY_PAUSE: Duration = Duration::from_micros(200);
+
+/// The repartitioning authority: one admin link per member plus the
+/// current authoritative map.
+pub struct Coordinator {
+    links: Vec<Box<dyn Transport + Send>>,
+    map: PartitionMap,
+    clock: SharedClock,
+    seq: u32,
+    repartitions: u64,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over per-member admin links (index =
+    /// federation id), starting from the map the members launched with.
+    pub fn new(
+        links: Vec<Box<dyn Transport + Send>>,
+        map: PartitionMap,
+        clock: SharedClock,
+    ) -> Coordinator {
+        Coordinator { links, map, clock, seq: 0, repartitions: 0 }
+    }
+
+    /// The authoritative map.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Completed repartitions (new epoch accepted by every member).
+    pub fn repartitions(&self) -> u64 {
+        self.repartitions
+    }
+
+    /// Rebalances on `loads` (per-cell, federation-wide) and, if the
+    /// cut moved, pushes the new epoch to every member. Returns whether
+    /// a repartition happened.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a member stays unreachable past the retry budget or
+    /// rejects the install. The authoritative map is only advanced
+    /// after **every** member accepted, so a failed push can be
+    /// re-attempted wholesale: members that already accepted treat the
+    /// replay as stale and ack it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loads` is shorter than the grid's cell count.
+    pub fn maybe_repartition(
+        &mut self,
+        grid: &Grid,
+        loads: &[u64],
+    ) -> Result<bool, TransportError> {
+        let Some(next) = self.map.rebalance(grid, loads) else {
+            return Ok(false);
+        };
+        for member in 0..self.links.len() {
+            self.push_to(member, next.epoch, &next)?;
+        }
+        self.map = next;
+        self.repartitions += 1;
+        Ok(true)
+    }
+
+    /// Installs `map` at `member` with bounded transient retries.
+    fn push_to(
+        &mut self,
+        member: usize,
+        epoch: u64,
+        map: &PartitionMap,
+    ) -> Result<(), TransportError> {
+        let mut last = TransportError::TimedOut;
+        for attempt in 0..=PUSH_RETRIES {
+            if attempt > 0 {
+                self.clock.sleep(PUSH_RETRY_PAUSE);
+            }
+            let seq = self.next_seq();
+            let req = Request::InstallTopology { seq, epoch, ranges: map.ranges.clone() };
+            match self.links[member].request(req) {
+                Ok(resps) => {
+                    return match resps.into_iter().next_back() {
+                        Some(Response::Ack { .. }) => Ok(()),
+                        _ => Err(TransportError::Protocol("member rejected a topology install")),
+                    }
+                }
+                Err(e) if e.is_transient() => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq = (self.seq + 1) & SEQ_MASK;
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::Federation;
+    use sa_geometry::Rect;
+    use sa_server::{
+        FaultLeg, FaultPlan, FaultyTransport, InProcTransport, ServerConfig, VirtualClock,
+    };
+    use std::sync::Arc;
+
+    fn launch() -> (Federation, SharedClock) {
+        let universe = Rect::new(0.0, 0.0, 4_000.0, 4_000.0).unwrap();
+        let grid = Grid::new(universe, 1_000.0).unwrap();
+        let clock: SharedClock = Arc::new(VirtualClock::new());
+        let fed = Federation::launch(
+            grid,
+            Vec::new(),
+            30.0,
+            ServerConfig::default(),
+            2,
+            Arc::clone(&clock),
+        );
+        (fed, clock)
+    }
+
+    #[test]
+    fn skewed_load_repartitions_every_member_to_the_next_epoch() {
+        let (fed, clock) = launch();
+        let links: Vec<Box<dyn Transport + Send>> = fed
+            .servers()
+            .iter()
+            .map(|s| {
+                Box::new(InProcTransport::connect(Arc::clone(s))) as Box<dyn Transport + Send>
+            })
+            .collect();
+        let mut coord =
+            Coordinator::new(links, fed.initial_map().clone(), Arc::clone(&clock));
+        let grid = fed.grid().clone();
+        let mut loads = vec![0u64; grid.cell_count() as usize];
+        loads[0] = 50_000;
+        assert!(coord.maybe_repartition(&grid, &loads).unwrap());
+        assert_eq!(coord.map().epoch, 1);
+        for s in fed.servers() {
+            assert_eq!(s.topology().0, 1, "every member must hold the new epoch");
+            assert_eq!(s.topology().1, coord.map().ranges);
+        }
+        // Same skew again: the cut is already balanced for it.
+        assert!(!coord.maybe_repartition(&grid, &loads).unwrap());
+        fed.shutdown();
+    }
+
+    #[test]
+    fn a_lossy_coordinator_link_retries_the_idempotent_install() {
+        let (fed, clock) = launch();
+        let plan = FaultPlan {
+            seed: 11,
+            up: FaultLeg { drop: 0.3, duplicate: 0.1, delay: 0.0, max_delay: Duration::ZERO },
+            down: FaultLeg { drop: 0.2, duplicate: 0.0, delay: 0.0, max_delay: Duration::ZERO },
+            disconnect_steps: Vec::new(),
+        };
+        let links: Vec<Box<dyn Transport + Send>> = fed
+            .servers()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let faulty = FaultyTransport::new(
+                    InProcTransport::connect(Arc::clone(s)),
+                    plan.clone(),
+                    100 + i as u64,
+                )
+                .with_clock(Arc::clone(&clock));
+                faulty.controls().set_armed(true);
+                Box::new(faulty) as Box<dyn Transport + Send>
+            })
+            .collect();
+        let mut coord =
+            Coordinator::new(links, fed.initial_map().clone(), Arc::clone(&clock));
+        let grid = fed.grid().clone();
+        let mut loads = vec![0u64; grid.cell_count() as usize];
+        loads[3] = 9_999;
+        assert!(coord.maybe_repartition(&grid, &loads).unwrap());
+        for s in fed.servers() {
+            assert_eq!(s.topology().0, 1);
+        }
+        fed.shutdown();
+    }
+}

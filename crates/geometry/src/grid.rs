@@ -191,6 +191,40 @@ impl Grid {
     pub fn cell_index(&self, cell: CellId) -> u64 {
         cell.row as u64 * self.cols as u64 + cell.col as u64
     }
+
+    /// Inverse of [`Grid::cell_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range for this grid.
+    pub fn cell_at_index(&self, index: u64) -> CellId {
+        assert!(
+            index < self.cell_count(),
+            "index {index} out of range for {} cells",
+            self.cell_count()
+        );
+        CellId {
+            col: (index % self.cols as u64) as u32,
+            row: (index / self.cols as u64) as u32,
+        }
+    }
+
+    /// Morton (Z-order) space-filling-curve key of `cell`: the column and
+    /// row bits interleaved, column in the even positions. Unlike
+    /// [`Grid::cell_index`] the keys are not dense, but contiguous key
+    /// ranges cover spatially compact blocks — the property a federation
+    /// partition map wants so vehicles cross ownership boundaries rarely.
+    pub fn morton_of(&self, cell: CellId) -> u64 {
+        fn spread(v: u32) -> u64 {
+            let mut x = v as u64; // 32 bits used
+            x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+            x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+            x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+            x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+            (x | (x << 1)) & 0x5555_5555_5555_5555
+        }
+        spread(cell.col) | (spread(cell.row) << 1)
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +330,30 @@ mod tests {
             }
         }
         assert_eq!(seen.len() as u64, g.cell_count());
+    }
+
+    #[test]
+    fn cell_at_index_inverts_cell_index() {
+        let g = Grid::new(universe(), 2_000.0).unwrap();
+        for idx in 0..g.cell_count() {
+            assert_eq!(g.cell_index(g.cell_at_index(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn morton_keys_are_unique_and_interleave_bits() {
+        let g = Grid::new(universe(), 1_000.0).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..g.rows() {
+            for col in 0..g.cols() {
+                assert!(seen.insert(g.morton_of(CellId { col, row })));
+            }
+        }
+        // Hand-checked small codes: (col, row) → z-order.
+        assert_eq!(g.morton_of(CellId { col: 0, row: 0 }), 0);
+        assert_eq!(g.morton_of(CellId { col: 1, row: 0 }), 1);
+        assert_eq!(g.morton_of(CellId { col: 0, row: 1 }), 2);
+        assert_eq!(g.morton_of(CellId { col: 1, row: 1 }), 3);
+        assert_eq!(g.morton_of(CellId { col: 2, row: 3 }), 0b1110);
     }
 }

@@ -196,6 +196,8 @@ struct ClientMeter {
     degraded_seconds: Counter,
     /// `sa_client_reconnect_rtt_ns` — outage start to backlog drained.
     reconnect_rtt: Histogram,
+    /// `sa_client_redirects_total` — federation `WrongOwner` bounces.
+    redirects: Counter,
 }
 
 /// Per-client message counters.
@@ -234,6 +236,11 @@ pub struct ClientStats {
     pub buffered_notifies: u64,
     /// Duplicate trigger deliveries ignored by the dedup gate.
     pub dup_deliveries: u64,
+    /// Federation `WrongOwner` bounces surfaced by the retry machine.
+    /// Redirects are **not** retried here — re-routing is the federation
+    /// router's job, so each bounce escapes immediately as
+    /// [`TransportError::WrongOwner`] instead of burning backoff budget.
+    pub redirects: u64,
 }
 
 /// An alarm the server pushed for local monitoring (OPT).
@@ -351,14 +358,16 @@ impl<T: Transport> Client<T> {
 
     /// Registers the client failure metrics (`sa_client_retries_total`,
     /// `sa_client_resyncs_total`, `sa_client_degraded_seconds`,
-    /// `sa_client_reconnect_rtt_ns`) on `registry`. Instrumented
-    /// clients sharing one registry aggregate into the same series.
+    /// `sa_client_reconnect_rtt_ns`, `sa_client_redirects_total`) on
+    /// `registry`. Instrumented clients sharing one registry aggregate
+    /// into the same series.
     pub fn instrument(&mut self, registry: &Registry) {
         self.meter = Some(ClientMeter {
             retries: registry.counter("sa_client_retries_total"),
             resyncs: registry.counter("sa_client_resyncs_total"),
             degraded_seconds: registry.counter("sa_client_degraded_seconds"),
             reconnect_rtt: registry.histogram("sa_client_reconnect_rtt_ns"),
+            redirects: registry.counter("sa_client_redirects_total"),
         });
     }
 
@@ -386,6 +395,13 @@ impl<T: Transport> Client<T> {
     /// Buffered operations awaiting reconciliation.
     pub fn pending_ops(&self) -> usize {
         self.resilience.as_ref().map_or(0, |r| r.pending.len())
+    }
+
+    /// Mutable access to the underlying transport — the federation
+    /// batch driver needs it to steer ownership (topology refresh,
+    /// session handoff) between polls without tearing the client down.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// Every firing observed so far, in observation order.
@@ -989,6 +1005,17 @@ impl<T: Transport> Client<T> {
             Response::Batch { .. } => {
                 return Err(TransportError::Protocol("batch reply to a per-request exchange"));
             }
+            Response::Topology { .. } => {
+                return Err(TransportError::Protocol("topology reply to a location update"));
+            }
+            Response::WrongOwner { .. } => {
+                // exchange_with_retry converts bounces into
+                // TransportError::WrongOwner before absorb ever runs.
+                return Err(TransportError::Protocol("wrong-owner bounce leaked past routing"));
+            }
+            Response::SessionState { .. } => {
+                return Err(TransportError::Protocol("session export reply to a location update"));
+            }
         }
         Ok(())
     }
@@ -1016,7 +1043,11 @@ impl<T: Transport> Client<T> {
     }
 
     /// Exchange that retries `Overloaded` bounces, yielding between
-    /// attempts so the shard worker can drain its queue.
+    /// attempts so the shard worker can drain its queue. A federation
+    /// `WrongOwner` bounce is **not** retried: resending to the same
+    /// server can never succeed, so it surfaces immediately as the
+    /// non-transient [`TransportError::WrongOwner`] — the federation
+    /// router catches it and re-routes; a plain client propagates it.
     fn exchange_with_retry(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
         for _ in 0..MAX_OVERLOAD_RETRIES {
             let resps = self.exchange(req.clone())?;
@@ -1024,6 +1055,14 @@ impl<T: Transport> Client<T> {
                 self.stats.overload_retries += 1;
                 std::thread::yield_now();
                 continue;
+            }
+            if let Some(Response::WrongOwner { owner, epoch, .. }) = resps.last() {
+                let (owner, epoch) = (*owner, *epoch);
+                self.stats.redirects += 1;
+                if let Some(m) = &self.meter {
+                    m.redirects.inc();
+                }
+                return Err(TransportError::WrongOwner { owner, epoch });
             }
             return Ok(resps);
         }

@@ -71,4 +71,4 @@ pub use replay::{
 pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
 pub use shard::{shard_of_index, ShardIndex, ShardPool};
 pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};
-pub use wire::{Request, Response, StrategySpec, WireError};
+pub use wire::{CellRange, Request, Response, SessionState, StrategySpec, WireError};

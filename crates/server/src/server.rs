@@ -18,8 +18,8 @@ use crate::cache::{CacheStats, RegionCache};
 use crate::clock::{SharedClock, SystemClock};
 use crate::shard::{shard_of_index, Job, JobPayload, ShardIndex, ShardPool, ShardUpdate, SubmitError};
 use crate::wire::{
-    dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, Request, Response,
-    StrategySpec, SEQ_MASK,
+    dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, CellRange, Request,
+    Response, SessionState, StrategySpec, SEQ_MASK,
 };
 use crossbeam::channel::unbounded;
 use parking_lot::RwLock;
@@ -89,6 +89,85 @@ struct Session {
     delivery_log: Vec<u32>,
 }
 
+/// Stripe count of the [`SessionTable`] — a power of two comfortably
+/// above the shard counts the configs use, so session ids spread across
+/// stripes and the batch router, the shard workers, and the federation
+/// handoff exporter almost always lock different stripes.
+const SESSION_STRIPES: usize = 16;
+
+/// The session registry, striped by session id so no single lock
+/// serializes every session touch the way the old
+/// `RwLock<HashMap<u32, Session>>` did.
+struct SessionTable {
+    stripes: Vec<RwLock<HashMap<u32, Session>>>,
+}
+
+impl SessionTable {
+    fn new() -> SessionTable {
+        SessionTable {
+            stripes: (0..SESSION_STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe(&self, session: u32) -> &RwLock<HashMap<u32, Session>> {
+        &self.stripes[session as usize % SESSION_STRIPES]
+    }
+
+    fn insert(&self, session: u32, s: Session) {
+        self.stripe(session).write().insert(session, s);
+    }
+
+    fn remove(&self, session: u32) -> Option<Session> {
+        self.stripe(session).write().remove(&session)
+    }
+
+    fn contains(&self, session: u32) -> bool {
+        self.stripe(session).read().contains_key(&session)
+    }
+
+    /// Copies the cheap per-session header (subscriber, strategy).
+    fn peek(&self, session: u32) -> Option<(SubscriberId, StrategySpec)> {
+        self.stripe(session).read().get(&session).map(|s| (s.user, s.strategy))
+    }
+
+    /// Runs `f` on the session under its stripe's write lock.
+    fn with_mut<R>(&self, session: u32, f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+        self.stripe(session).write().get_mut(&session).map(f)
+    }
+
+    /// Clones the migratable fields of a session (the handoff export).
+    fn snapshot(
+        &self,
+        session: u32,
+    ) -> Option<(SubscriberId, StrategySpec, Option<CellId>, Vec<u32>)> {
+        self.stripe(session)
+            .read()
+            .get(&session)
+            .map(|s| (s.user, s.strategy, s.last_cell, s.delivery_log.clone()))
+    }
+}
+
+/// Federation membership of one server: its id and the epoch-versioned
+/// partition map it enforces on position-bearing requests.
+#[derive(Debug, Clone)]
+struct FedState {
+    self_id: u32,
+    epoch: u64,
+    /// Ownership ranges over the grid's Morton keys, sorted by start.
+    ranges: Vec<CellRange>,
+}
+
+impl FedState {
+    /// The owner of Morton key `key`, or `None` when the map has a gap
+    /// there (a malformed map; the caller treats the cell as local
+    /// rather than bouncing traffic into a void).
+    fn owner_of(&self, key: u64) -> Option<u32> {
+        let idx = self.ranges.partition_point(|r| r.start <= key);
+        let r = &self.ranges[idx.checked_sub(1)?];
+        (key < r.end).then_some(r.owner)
+    }
+}
+
 /// Pre-resolved handles onto the server's registry: one registry lock at
 /// startup, then every hot-path increment is a single atomic RMW.
 #[derive(Debug, Clone)]
@@ -101,6 +180,12 @@ pub(crate) struct ServerMetrics {
     resyncs: Counter,
     /// Trigger deliveries re-sent from a session's delivery log.
     redeliveries: Counter,
+    /// Position-bearing requests bounced with `WrongOwner`.
+    wrong_owner: Counter,
+    /// Sessions exported to another federation member.
+    handoff_exports: Counter,
+    /// Sessions imported from another federation member.
+    handoff_imports: Counter,
     /// End-to-end location-update round trip: router entry to worker
     /// reply received.
     update_rtt: Histogram,
@@ -129,6 +214,9 @@ impl ServerMetrics {
             region_computations: registry.counter("sa_server_region_computations_total"),
             resyncs: registry.counter("sa_server_resyncs_total"),
             redeliveries: registry.counter("sa_server_redeliveries_total"),
+            wrong_owner: registry.counter("sa_server_wrong_owner_total"),
+            handoff_exports: registry.counter("sa_server_handoff_exports_total"),
+            handoff_imports: registry.counter("sa_server_handoff_imports_total"),
             update_rtt: registry.histogram("sa_update_rtt_ns"),
             cache_lookup: registry.histogram("sa_cache_lookup_ns"),
             wire_encode: registry.histogram("sa_wire_encode_ns"),
@@ -164,7 +252,13 @@ struct Core {
     shard_indexes: Vec<RwLock<ShardIndex>>,
     /// (subscriber, alarm) pairs that already fired — alarms fire once.
     fired: RwLock<HashSet<(SubscriberId, AlarmId)>>,
-    sessions: RwLock<HashMap<u32, Session>>,
+    sessions: SessionTable,
+    /// Federation membership, when [`Server::enable_federation`] was
+    /// called; `None` on a standalone server (no ownership checks).
+    fed: RwLock<Option<FedState>>,
+    /// One update counter per grid cell (`sa_cell_updates_total`), the
+    /// load signal the federation's hot-cell repartitioner reads.
+    cell_updates: Vec<Counter>,
     cache: RegionCache,
     /// Every counter/gauge/histogram of this server instance — scrapeable
     /// over the wire via [`Request::Stats`].
@@ -252,6 +346,12 @@ impl Server {
 
         let registry = Arc::new(Registry::new());
         let metrics = ServerMetrics::new(&registry);
+        let cell_updates = (0..grid.cell_count())
+            .map(|idx| {
+                let label = idx.to_string();
+                registry.counter_with("sa_cell_updates_total", &[("cell", &label)])
+            })
+            .collect();
         let core = Arc::new(Core {
             num_shards: config.num_shards,
             v_max,
@@ -261,7 +361,9 @@ impl Server {
                 .map(|owned| RwLock::new(ShardIndex::build(owned)))
                 .collect(),
             fired: RwLock::new(HashSet::new()),
-            sessions: RwLock::new(HashMap::new()),
+            sessions: SessionTable::new(),
+            fed: RwLock::new(None),
+            cell_updates,
             cache: RegionCache::with_registry(&registry),
             metrics,
             // One extra pseudo-shard ring for router-side events
@@ -310,6 +412,52 @@ impl Server {
     /// The grid the server shards over.
     pub fn grid(&self) -> &Grid {
         &self.core.grid
+    }
+
+    /// Joins a federation as member `self_id` under the given partition
+    /// map. From here on, position-bearing requests whose cell another
+    /// member owns are bounced with
+    /// [`Response::WrongOwner`](crate::wire::Response::WrongOwner), and
+    /// [`Request::InstallTopology`] pushes with a newer epoch replace
+    /// the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ranges` is empty or not sorted by start key.
+    pub fn enable_federation(&self, self_id: u32, epoch: u64, ranges: Vec<CellRange>) {
+        assert!(!ranges.is_empty(), "a partition map needs at least one range");
+        assert!(
+            ranges.windows(2).all(|w| w[0].start <= w[1].start),
+            "partition ranges must be sorted by start key"
+        );
+        *self.core.fed.write() = Some(FedState { self_id, epoch, ranges });
+    }
+
+    /// The server's current partition map: `(epoch, ranges)`. A
+    /// standalone server reports the trivial epoch-0 map owning the
+    /// whole key space as member 0.
+    pub fn topology(&self) -> (u64, Vec<CellRange>) {
+        match self.core.fed.read().as_ref() {
+            Some(f) => (f.epoch, f.ranges.clone()),
+            None => (0, vec![CellRange { start: 0, end: u64::MAX, owner: 0 }]),
+        }
+    }
+
+    /// This member's federation id, when federation is enabled.
+    pub fn federation_id(&self) -> Option<u32> {
+        self.core.fed.read().as_ref().map(|f| f.self_id)
+    }
+
+    /// Per-cell update counts (indexed by flattened cell index) — the
+    /// load distribution the repartitioning coordinator balances on.
+    pub fn cell_update_counts(&self) -> Vec<u64> {
+        self.core.cell_updates.iter().map(Counter::get).collect()
+    }
+
+    /// How many position-bearing requests this member bounced with
+    /// [`Response::WrongOwner`](crate::wire::Response::WrongOwner).
+    pub fn wrong_owner_total(&self) -> u64 {
+        self.core.metrics.wrong_owner.get()
     }
 
     /// Counter snapshot.
@@ -363,7 +511,7 @@ impl Server {
         let seq = req.seq();
         match req {
             Request::Hello { seq, user, strategy } => {
-                self.core.sessions.write().insert(
+                self.core.sessions.insert(
                     session,
                     Session {
                         user: SubscriberId(user),
@@ -375,7 +523,7 @@ impl Server {
                 vec![Response::Ack { seq }]
             }
             Request::Bye { seq } => {
-                self.core.sessions.write().remove(&session);
+                self.core.sessions.remove(session);
                 vec![Response::Ack { seq }]
             }
             Request::TriggerNotify { seq, alarm } => self.core.notify_trigger(session, seq, alarm),
@@ -386,15 +534,43 @@ impl Server {
             Request::Stats { seq } => {
                 vec![Response::Stats { seq, text: self.prometheus() }]
             }
+            Request::Topology { seq } => {
+                let (epoch, ranges) = self.topology();
+                vec![Response::Topology { seq, epoch, ranges }]
+            }
+            Request::HandoffExport { seq, session: target } => {
+                self.core.export_session(seq, target)
+            }
+            Request::HandoffImport { seq, session: target, state } => {
+                self.core.import_session(seq, target, state)
+            }
+            Request::HandoffRelease { seq, session: target } => {
+                // Idempotent by design: releasing an absent session (a
+                // retried handoff's second release) still acks. The
+                // subscriber's fired entries stay — they can only
+                // suppress an already-fired alarm, never add a firing.
+                self.core.sessions.remove(target);
+                self.core.tracer.event(self.core.num_shards, "handoff_release", target as u64, 0);
+                vec![Response::Ack { seq }]
+            }
+            Request::InstallTopology { seq, epoch, ranges } => {
+                self.core.install_topology(seq, epoch, ranges)
+            }
             req @ (Request::LocationUpdate { .. } | Request::Resync { .. }) => {
                 let (x_fx, y_fx) =
                     req.position_fx().expect("position-bearing requests carry coordinates");
                 let entered_ns = self.core.clock.now_ns();
+                let pos = self.core.clamped_position(x_fx, y_fx);
+                let cell = self.core.grid.cell_of(pos);
+                // Ownership precedes the session check: mid-handoff the
+                // old owner has released the session, and the useful
+                // answer there is the redirect, not NO_SESSION.
+                if let Some(bounce) = self.core.wrong_owner(cell, seq) {
+                    return vec![bounce];
+                }
                 if !self.core.session_exists(session) {
                     return vec![Response::Error { seq, code: error_code::NO_SESSION }];
                 }
-                let pos = self.core.clamped_position(x_fx, y_fx);
-                let cell = self.core.grid.cell_of(pos);
                 let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
                 let (reply_tx, reply_rx) = unbounded();
                 let job = Job::new(session, req, reply_tx, entered_ns);
@@ -459,29 +635,35 @@ impl Server {
             .collect();
 
         // Group by owning shard, preserving batch order within a slice.
+        // Session lookups hit the striped table per entry — no single
+        // guard serializes the whole batch against the workers anymore.
         let mut by_shard: HashMap<usize, Vec<ShardUpdate>> = HashMap::new();
-        {
-            let sessions = self.core.sessions.read();
-            for (index, u) in updates.into_iter().enumerate() {
-                if !sessions.contains_key(&u.session) {
-                    replies[index].responses =
-                        vec![Response::Error { seq: u.seq, code: error_code::NO_SESSION }];
-                    continue;
-                }
-                let pos = self.core.clamped_position(u.x_fx, u.y_fx);
-                let cell = self.core.grid.cell_of(pos);
-                let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
-                by_shard.entry(shard).or_default().push(ShardUpdate {
-                    index: index as u32,
-                    session: u.session,
-                    req: Request::LocationUpdate {
-                        seq: u.seq,
-                        x_fx: u.x_fx,
-                        y_fx: u.y_fx,
-                        motion: u.motion,
-                    },
-                });
+        for (index, u) in updates.into_iter().enumerate() {
+            let pos = self.core.clamped_position(u.x_fx, u.y_fx);
+            let cell = self.core.grid.cell_of(pos);
+            // Ownership precedes the session check, as on the
+            // single-update path: mid-handoff the released session
+            // should redirect, not error.
+            if let Some(bounce) = self.core.wrong_owner(cell, u.seq) {
+                replies[index].responses = vec![bounce];
+                continue;
             }
+            if !self.core.sessions.contains(u.session) {
+                replies[index].responses =
+                    vec![Response::Error { seq: u.seq, code: error_code::NO_SESSION }];
+                continue;
+            }
+            let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
+            by_shard.entry(shard).or_default().push(ShardUpdate {
+                index: index as u32,
+                session: u.session,
+                req: Request::LocationUpdate {
+                    seq: u.seq,
+                    x_fx: u.x_fx,
+                    y_fx: u.y_fx,
+                    motion: u.motion,
+                },
+            });
         }
 
         let (reply_tx, reply_rx) = unbounded();
@@ -649,7 +831,103 @@ pub fn quantize_rect(rect: Rect) -> [u32; 4] {
 
 impl Core {
     fn session_exists(&self, session: u32) -> bool {
-        self.sessions.read().contains_key(&session)
+        self.sessions.contains(session)
+    }
+
+    /// When federation is enabled and `cell` belongs to another member,
+    /// the `WrongOwner` bounce for it; `None` means "process locally"
+    /// (standalone server, locally owned cell, or a map gap — the last
+    /// treated as local so a malformed map degrades to the
+    /// single-server behavior instead of bouncing traffic into a void).
+    fn wrong_owner(&self, cell: CellId, seq: u32) -> Option<Response> {
+        let fed = self.fed.read();
+        let fed = fed.as_ref()?;
+        let owner = fed.owner_of(self.grid.morton_of(cell)).unwrap_or(fed.self_id);
+        if owner == fed.self_id {
+            return None;
+        }
+        self.metrics.wrong_owner.inc();
+        self.tracer.event(self.num_shards, "wrong_owner", owner as u64, fed.epoch);
+        Some(Response::WrongOwner { seq, owner, epoch: fed.epoch })
+    }
+
+    /// The first leg of a handoff: a read-only snapshot of the named
+    /// session plus the subscriber's fired alarms, sorted so the blob's
+    /// encoding is deterministic.
+    fn export_session(&self, seq: u32, target: u32) -> Vec<Response> {
+        let Some((user, strategy, last_cell, delivery_log)) = self.sessions.snapshot(target)
+        else {
+            // A retried handoff whose release already happened lands
+            // here; the mesh treats NO_SESSION as "already moved".
+            return vec![Response::Error { seq, code: error_code::NO_SESSION }];
+        };
+        let mut fired: Vec<u32> = self.fired_for(user).into_iter().map(|a| a.0 as u32).collect();
+        fired.sort_unstable();
+        self.metrics.handoff_exports.inc();
+        self.tracer.event(self.num_shards, "handoff_export", target as u64, user.0 as u64);
+        let state = SessionState {
+            user: user.0,
+            strategy,
+            last_cell: last_cell.map(|c| self.grid.cell_index(c) as u32),
+            delivery_log,
+            fired,
+        };
+        vec![Response::SessionState { seq, state }]
+    }
+
+    /// The second leg of a handoff: installs the blob at `target`,
+    /// overwriting any stale copy, and unions the fired alarms into the
+    /// fired set — both idempotent, so a retried import is harmless.
+    fn import_session(&self, seq: u32, target: u32, state: SessionState) -> Vec<Response> {
+        let last_cell = match state.last_cell {
+            Some(w) if u64::from(w) >= self.grid.cell_count() => {
+                return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
+            }
+            Some(w) => Some(self.grid.cell_at_index(u64::from(w))),
+            None => None,
+        };
+        let user = SubscriberId(state.user);
+        {
+            let mut fired = self.fired.write();
+            for &alarm in &state.fired {
+                fired.insert((user, AlarmId(u64::from(alarm))));
+            }
+        }
+        self.sessions.insert(
+            target,
+            Session {
+                user,
+                strategy: state.strategy,
+                last_cell,
+                delivery_log: state.delivery_log,
+            },
+        );
+        self.metrics.handoff_imports.inc();
+        self.tracer.event(self.num_shards, "handoff_import", target as u64, user.0 as u64);
+        vec![Response::Ack { seq }]
+    }
+
+    /// The coordinator's topology push: replace the map when the pushed
+    /// epoch is newer; acknowledge (idempotently) when it is not.
+    fn install_topology(&self, seq: u32, epoch: u64, ranges: Vec<CellRange>) -> Vec<Response> {
+        if ranges.is_empty() || ranges.windows(2).any(|w| w[0].start > w[1].start) {
+            return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
+        }
+        let mut fed = self.fed.write();
+        match fed.as_mut() {
+            // Only federation members enforce ownership; a standalone
+            // server rejects the push rather than silently absorbing a
+            // map it would never apply.
+            None => vec![Response::Error { seq, code: error_code::BAD_REQUEST }],
+            Some(state) => {
+                if epoch > state.epoch {
+                    state.epoch = epoch;
+                    state.ranges = ranges;
+                    self.tracer.event(self.num_shards, "topology", epoch, 0);
+                }
+                vec![Response::Ack { seq }]
+            }
+        }
     }
 
     /// Dequantizes a wire position and clamps it into the universe, so a
@@ -688,8 +966,8 @@ impl Core {
     /// OPT client-side trigger notification: record the firing (routed
     /// inline — it only touches the fired set).
     fn notify_trigger(&self, session: u32, seq: u32, alarm: u32) -> Vec<Response> {
-        let user = match self.sessions.read().get(&session) {
-            Some(s) => s.user,
+        let user = match self.sessions.peek(session) {
+            Some((user, _)) => user,
             None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
         };
         if self.fired.write().insert((user, AlarmId(alarm as u64))) {
@@ -711,8 +989,8 @@ impl Core {
             }
             _ => return vec![Response::Error { seq: req.seq(), code: error_code::BAD_REQUEST }],
         };
-        let (user, strategy) = match self.sessions.read().get(&session) {
-            Some(s) => (s.user, s.strategy),
+        let (user, strategy) = match self.sessions.peek(session) {
+            Some(header) => header,
             None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
         };
         self.metrics.location_updates.inc();
@@ -722,6 +1000,7 @@ impl Core {
         let cell = self.grid.cell_of(pos);
         let cell_rect = self.grid.cell_rect(cell);
         let cell_word = self.grid.cell_index(cell) as u32;
+        self.cell_updates[cell_word as usize].inc();
 
         let mut out = Vec::new();
         if let Some(acked) = resync_acked {
@@ -731,13 +1010,13 @@ impl Core {
             // so the terminal response reinstalls a full region.
             self.metrics.resyncs.inc();
             self.tracer.event(shard, "resync", session as u64, acked as u64);
-            let mut sessions = self.sessions.write();
-            if let Some(s) = sessions.get_mut(&session) {
+            let redeliver = self.sessions.with_mut(session, |s| {
                 s.last_cell = None;
-                for &alarm in s.delivery_log.get(acked as usize..).unwrap_or(&[]) {
-                    self.metrics.redeliveries.inc();
-                    out.push(Response::TriggerDelivery { seq, alarm });
-                }
+                s.delivery_log.get(acked as usize..).unwrap_or(&[]).to_vec()
+            });
+            for alarm in redeliver.unwrap_or_default() {
+                self.metrics.redeliveries.inc();
+                out.push(Response::TriggerDelivery { seq, alarm });
             }
         }
 
@@ -759,9 +1038,7 @@ impl Core {
         if !newly_fired.is_empty() {
             // First-time firings join the session's delivery log so a
             // later resync can recover them if this response is lost.
-            if let Some(s) = self.sessions.write().get_mut(&session) {
-                s.delivery_log.extend_from_slice(&newly_fired);
-            }
+            self.sessions.with_mut(session, |s| s.delivery_log.extend_from_slice(&newly_fired));
             out.extend(newly_fired.iter().map(|&alarm| Response::TriggerDelivery { seq, alarm }));
         }
         let fired_now = !newly_fired.is_empty();
@@ -790,13 +1067,7 @@ impl Core {
                 });
             }
             StrategySpec::Pbsr { height } => {
-                let prev = {
-                    let mut sessions = self.sessions.write();
-                    match sessions.get_mut(&session) {
-                        Some(s) => s.last_cell.replace(cell),
-                        None => None,
-                    }
-                };
+                let prev = self.sessions.with_mut(session, |s| s.last_cell.replace(cell)).flatten();
                 // §4.2: inside the base cell the region is only refreshed
                 // when an alarm actually fired (the quick update); plain
                 // blocked-subcell reports get a bare acknowledgement.

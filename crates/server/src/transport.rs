@@ -36,6 +36,20 @@ pub enum TransportError {
     /// The peer answered with something the protocol does not allow
     /// here (e.g. an `Error` response to a well-formed update).
     Protocol(&'static str),
+    /// A federation server bounced the request with
+    /// [`Response::WrongOwner`](crate::wire::Response::WrongOwner): the
+    /// position's cell belongs to `owner` under map epoch `epoch`.
+    /// Deliberately **not** transient — backing off and resending to the
+    /// same server can never succeed. The cure is re-routing (refresh
+    /// the topology, hand the session off, send to `owner`), which the
+    /// federation router does before this error ever escapes; a plain
+    /// client surfaces it instead of burning its retry budget.
+    WrongOwner {
+        /// The federation server id that owns the cell.
+        owner: u32,
+        /// The bouncing server's map epoch.
+        epoch: u64,
+    },
 }
 
 impl TransportError {
@@ -59,6 +73,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Closed => write!(f, "connection closed mid-exchange"),
             TransportError::TimedOut => write!(f, "exchange timed out awaiting a response"),
             TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            TransportError::WrongOwner { owner, epoch } => {
+                write!(f, "wrong owner: cell belongs to server {owner} at epoch {epoch}")
+            }
         }
     }
 }
@@ -298,6 +315,12 @@ mod tests {
         assert_eq!(b.request(Request::Bye { seq: 10 }).unwrap(), vec![Response::Ack { seq: 10 }]);
         handle.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn wrong_owner_is_not_transient() {
+        assert!(!TransportError::WrongOwner { owner: 1, epoch: 2 }.is_transient());
+        assert!(TransportError::TimedOut.is_transient());
     }
 
     #[test]

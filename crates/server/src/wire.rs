@@ -156,6 +156,55 @@ pub struct BatchReply {
     pub responses: Vec<Response>,
 }
 
+/// One contiguous range of space-filling-curve keys owned by one server
+/// of a federation. Exactly 20 bytes on the wire: the 64-bit inclusive
+/// start key, the 64-bit exclusive end key, and the owner id.
+///
+/// Ranges are keyed by `Grid::morton_of` codes, not flattened cell
+/// indexes: Morton order keeps each range spatially compact, so a
+/// vehicle crosses partition boundaries rarely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRange {
+    /// First Morton key of the range (inclusive).
+    pub start: u64,
+    /// One past the last Morton key of the range (exclusive).
+    pub end: u64,
+    /// The federation server id owning every cell in the range.
+    pub owner: u32,
+}
+
+/// The migratable state of one session, carried by
+/// [`Request::HandoffImport`] and [`Response::SessionState`] when a
+/// session moves between federation servers.
+///
+/// The blob is everything the exactly-once firing guarantee depends on:
+/// the delivery log (so a post-handoff [`Request::Resync`] re-delivers
+/// from the same cursor), the subscriber's fired alarms (so the new
+/// owner never re-fires them), and the quick-update cell. Both vectors
+/// are in deterministic order — the fired set is sorted by the exporter
+/// — so the encoding is a pure function of the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    /// Subscriber id of the session.
+    pub user: u32,
+    /// Monitoring strategy the session negotiated at hello.
+    pub strategy: StrategySpec,
+    /// Last cell a safe region was installed for (`None` encodes as
+    /// `u32::MAX`, far above any flattened cell index).
+    pub last_cell: Option<u32>,
+    /// The session's delivery log, in delivery order.
+    pub delivery_log: Vec<u32>,
+    /// The subscriber's fired alarm ids, sorted ascending.
+    pub fired: Vec<u32>,
+}
+
+impl SessionState {
+    /// Exact encoded size in bytes within a carrying frame.
+    pub fn encoded_len(&self) -> usize {
+        24 + 4 * (self.delivery_log.len() + self.fired.len())
+    }
+}
+
 /// One alarm entry of a [`Response::AlarmPush`]. The high bit of the
 /// alarm word flags relevance (the OPT client spatially tests irrelevant
 /// alarms too but never fires them); alarm ids therefore live in 31 bits
@@ -170,8 +219,10 @@ pub struct PushedAlarm {
     pub rect: [u32; 4],
 }
 
-/// Client → server messages. Type nibbles 0–7, plus nibble 8 reused
-/// direction-aware for [`Request::Batch`].
+/// Client → server messages. Type nibbles 0–7, plus nibbles 8–13 reused
+/// direction-aware for [`Request::Batch`] and the federation control
+/// plane ([`Request::Topology`], the session-handoff trio, and
+/// [`Request::InstallTopology`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Opens a session: who the subscriber is and which strategy to run.
@@ -267,10 +318,73 @@ pub enum Request {
         /// The batched updates, one per vehicle polled this step.
         updates: Vec<BatchedUpdate>,
     },
+    /// Asks for the federation partition map. Requires no session — a
+    /// router refreshes its map from whichever server bounced it with
+    /// [`Response::WrongOwner`]. Answered inline with a
+    /// [`Response::Topology`]; a standalone server answers with the
+    /// trivial single-range epoch-0 map.
+    Topology {
+        /// Request sequence number (28 bits).
+        seq: u32,
+    },
+    /// Asks the server to export the migratable state of `session` (the
+    /// first leg of a handoff). Answered inline with a
+    /// [`Response::SessionState`], or `Error { NO_SESSION }` when the
+    /// session does not exist — which a retried handoff treats as
+    /// "already released".
+    HandoffExport {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// The session to export (the mesh connection's own session is
+        /// irrelevant — handoff names its target explicitly).
+        session: u32,
+    },
+    /// Installs exported session state at `session` on the new owner
+    /// (the second leg of a handoff). Overwrites any existing state at
+    /// that id and unions the blob's fired alarms into the server's
+    /// fired set, so a retried import is idempotent. Answered inline
+    /// with an [`Response::Ack`].
+    HandoffImport {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// The session id to install the state at.
+        session: u32,
+        /// The migrated state.
+        state: SessionState,
+    },
+    /// Drops `session` on the old owner (the final leg of a handoff).
+    /// Idempotent — releasing an absent session still acks, and a lost
+    /// release merely leaves a stale copy the next import overwrites.
+    /// The subscriber's fired alarms are deliberately retained: extra
+    /// fired entries can only suppress an already-fired alarm, never
+    /// add a firing.
+    HandoffRelease {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// The session to release.
+        session: u32,
+    },
+    /// The repartitioning coordinator's topology push: installs the
+    /// epoch-versioned partition map on a federation member. Applied
+    /// only when `epoch` is newer than the server's current map, so
+    /// replayed or reordered pushes are harmless. Answered inline with
+    /// an [`Response::Ack`] (or `Error { BAD_REQUEST }` on a server
+    /// with federation disabled).
+    InstallTopology {
+        /// Request sequence number (28 bits).
+        seq: u32,
+        /// Version of the pushed map.
+        epoch: u64,
+        /// The pushed ownership ranges, sorted by start key, covering
+        /// the whole key space.
+        ranges: Vec<CellRange>,
+    },
 }
 
-/// Server → client messages. Type nibbles 8–15, plus nibble 2 reused
-/// direction-aware for [`Response::Batch`].
+/// Server → client messages. Type nibbles 8–15, plus nibbles 1–4 reused
+/// direction-aware for [`Response::Batch`] and the federation control
+/// plane ([`Response::Topology`], [`Response::WrongOwner`],
+/// [`Response::SessionState`]).
 ///
 /// A request is answered by zero or more [`Response::TriggerDelivery`]
 /// frames followed by exactly one *terminal* frame (any other variant).
@@ -359,6 +473,37 @@ pub enum Response {
         /// Per-update reply groups, in batch entry order.
         replies: Vec<BatchReply>,
     },
+    /// The answer to a [`Request::Topology`]: the answering server's
+    /// current epoch-versioned partition map.
+    Topology {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// Version of the map.
+        epoch: u64,
+        /// The ownership ranges, sorted by start key, covering the
+        /// whole key space.
+        ranges: Vec<CellRange>,
+    },
+    /// A position-bearing request landed on a server that does not own
+    /// the position's cell under its current map. The request was *not*
+    /// processed; the router should hand the session off to `owner` and
+    /// resend — and refresh its map when its epoch trails `epoch`.
+    WrongOwner {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// The federation server id that owns the cell.
+        owner: u32,
+        /// The answering server's map epoch.
+        epoch: u64,
+    },
+    /// The answer to a [`Request::HandoffExport`]: the migratable state
+    /// of the named session.
+    SessionState {
+        /// Echoed request sequence number.
+        seq: u32,
+        /// The exported state.
+        state: SessionState,
+    },
 }
 
 /// Nibble 0 is the post-failure resync update — the only request type
@@ -391,6 +536,18 @@ const T_DELIVERY: u8 = 12;
 const T_GRANT: u8 = 13;
 const T_OVERLOADED: u8 = 14;
 const T_ERROR: u8 = 15;
+/// The federation control plane reuses nibbles direction-aware, exactly
+/// like [`T_STATS`] and the batch frames: request-direction control
+/// messages borrow response nibbles 9–13, response-direction control
+/// messages borrow request nibbles 1, 3 and 4.
+const T_TOPOLOGY_REQ: u8 = T_RECT;
+const T_EXPORT: u8 = T_BITMAP;
+const T_IMPORT: u8 = T_PUSH;
+const T_RELEASE: u8 = T_DELIVERY;
+const T_SET_TOPOLOGY: u8 = T_GRANT;
+const T_TOPOLOGY_RESP: u8 = T_HELLO;
+const T_WRONG_OWNER: u8 = T_NOTIFY;
+const T_SESSION_STATE: u8 = T_INSTALL;
 
 fn head(ty: u8, seq: u32) -> u32 {
     debug_assert!(seq <= SEQ_MASK, "sequence {seq} overflows 28 bits");
@@ -420,6 +577,89 @@ fn put_rect(buf: &mut BytesMut, rect: &[u32; 4]) {
 
 fn expect_empty(buf: &[u8]) -> Result<(), WireError> {
     if buf.is_empty() { Ok(()) } else { Err(WireError::Malformed("trailing bytes")) }
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    let hi = get_u32(buf)?;
+    let lo = get_u32(buf)?;
+    Ok((u64::from(hi) << 32) | u64::from(lo))
+}
+
+fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_u32((v >> 32) as u32);
+    buf.put_u32(v as u32);
+}
+
+fn put_ranges(buf: &mut BytesMut, ranges: &[CellRange]) {
+    buf.put_u32(ranges.len() as u32);
+    for r in ranges {
+        put_u64(buf, r.start);
+        put_u64(buf, r.end);
+        buf.put_u32(r.owner);
+    }
+}
+
+fn get_ranges(buf: &mut &[u8]) -> Result<Vec<CellRange>, WireError> {
+    let count = get_u32(buf)? as usize;
+    if buf.len() != count * 20 {
+        return Err(WireError::Malformed("range list length mismatch"));
+    }
+    let mut ranges = Vec::with_capacity(count);
+    for _ in 0..count {
+        ranges.push(CellRange {
+            start: get_u64(buf)?,
+            end: get_u64(buf)?,
+            owner: get_u32(buf)?,
+        });
+    }
+    Ok(ranges)
+}
+
+/// `None` travels as `u32::MAX`, far above any flattened cell index.
+const NO_CELL: u32 = u32::MAX;
+
+fn put_session_state(buf: &mut BytesMut, state: &SessionState) {
+    let (tag, param) = state.strategy.encode();
+    buf.put_u32(state.user);
+    buf.put_u32(tag);
+    buf.put_u32(param);
+    buf.put_u32(state.last_cell.unwrap_or(NO_CELL));
+    buf.put_u32(state.delivery_log.len() as u32);
+    for &d in &state.delivery_log {
+        buf.put_u32(d);
+    }
+    buf.put_u32(state.fired.len() as u32);
+    for &a in &state.fired {
+        buf.put_u32(a);
+    }
+}
+
+fn get_session_state(buf: &mut &[u8]) -> Result<SessionState, WireError> {
+    let user = get_u32(buf)?;
+    let tag = get_u32(buf)?;
+    let param = get_u32(buf)?;
+    let strategy = StrategySpec::decode(tag, param)?;
+    let last_cell = match get_u32(buf)? {
+        NO_CELL => None,
+        cell => Some(cell),
+    };
+    let log_len = get_u32(buf)? as usize;
+    if buf.len() < log_len * 4 + 4 {
+        return Err(WireError::Malformed("delivery log length mismatch"));
+    }
+    let mut delivery_log = Vec::with_capacity(log_len);
+    for _ in 0..log_len {
+        delivery_log.push(get_u32(buf)?);
+    }
+    let fired_len = get_u32(buf)? as usize;
+    if buf.len() != fired_len * 4 {
+        return Err(WireError::Malformed("fired list length mismatch"));
+    }
+    let mut fired = Vec::with_capacity(fired_len);
+    for _ in 0..fired_len {
+        fired.push(get_u32(buf)?);
+    }
+    Ok(SessionState { user, strategy, last_cell, delivery_log, fired })
 }
 
 impl Request {
@@ -475,6 +715,25 @@ impl Request {
                     buf.put_u32(u.motion);
                 }
             }
+            Request::Topology { seq } => buf.put_u32(head(T_TOPOLOGY_REQ, *seq)),
+            Request::HandoffExport { seq, session } => {
+                buf.put_u32(head(T_EXPORT, *seq));
+                buf.put_u32(*session);
+            }
+            Request::HandoffImport { seq, session, state } => {
+                buf.put_u32(head(T_IMPORT, *seq));
+                buf.put_u32(*session);
+                put_session_state(&mut buf, state);
+            }
+            Request::HandoffRelease { seq, session } => {
+                buf.put_u32(head(T_RELEASE, *seq));
+                buf.put_u32(*session);
+            }
+            Request::InstallTopology { seq, epoch, ranges } => {
+                buf.put_u32(head(T_SET_TOPOLOGY, *seq));
+                put_u64(&mut buf, *epoch);
+                put_ranges(&mut buf, ranges);
+            }
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -492,6 +751,10 @@ impl Request {
             Request::Stats { .. } => 4,
             Request::Resync { .. } => 20,
             Request::Batch { updates, .. } => 8 + 20 * updates.len(),
+            Request::Topology { .. } => 4,
+            Request::HandoffExport { .. } | Request::HandoffRelease { .. } => 8,
+            Request::HandoffImport { state, .. } => 8 + state.encoded_len(),
+            Request::InstallTopology { ranges, .. } => 16 + 20 * ranges.len(),
         }
     }
 
@@ -524,7 +787,12 @@ impl Request {
             | Request::Bye { seq }
             | Request::Stats { seq }
             | Request::Resync { seq, .. }
-            | Request::Batch { seq, .. } => *seq,
+            | Request::Batch { seq, .. }
+            | Request::Topology { seq }
+            | Request::HandoffExport { seq, .. }
+            | Request::HandoffImport { seq, .. }
+            | Request::HandoffRelease { seq, .. }
+            | Request::InstallTopology { seq, .. } => *seq,
         }
     }
 
@@ -599,6 +867,19 @@ impl Request {
                 }
                 Request::Batch { seq, updates }
             }
+            T_TOPOLOGY_REQ => Request::Topology { seq },
+            T_EXPORT => Request::HandoffExport { seq, session: get_u32(&mut body)? },
+            T_IMPORT => Request::HandoffImport {
+                seq,
+                session: get_u32(&mut body)?,
+                state: get_session_state(&mut body)?,
+            },
+            T_RELEASE => Request::HandoffRelease { seq, session: get_u32(&mut body)? },
+            T_SET_TOPOLOGY => Request::InstallTopology {
+                seq,
+                epoch: get_u64(&mut body)?,
+                ranges: get_ranges(&mut body)?,
+            },
             other => return Err(WireError::UnknownType(other)),
         };
         expect_empty(body)?;
@@ -674,6 +955,20 @@ impl Response {
                     }
                 }
             }
+            Response::Topology { seq, epoch, ranges } => {
+                buf.put_u32(head(T_TOPOLOGY_RESP, *seq));
+                put_u64(&mut buf, *epoch);
+                put_ranges(&mut buf, ranges);
+            }
+            Response::WrongOwner { seq, owner, epoch } => {
+                buf.put_u32(head(T_WRONG_OWNER, *seq));
+                buf.put_u32(*owner);
+                put_u64(&mut buf, *epoch);
+            }
+            Response::SessionState { seq, state } => {
+                buf.put_u32(head(T_SESSION_STATE, *seq));
+                put_session_state(&mut buf, state);
+            }
         }
         debug_assert_eq!(buf.len(), self.encoded_len());
         buf.freeze()
@@ -699,6 +994,9 @@ impl Response {
                     })
                     .sum::<usize>()
             }
+            Response::Topology { ranges, .. } => 16 + 20 * ranges.len(),
+            Response::WrongOwner { .. } => 16,
+            Response::SessionState { state, .. } => 4 + state.encoded_len(),
         }
     }
 
@@ -782,6 +1080,19 @@ impl Response {
                     .to_string();
                 body = &body[body.len()..];
                 Response::Stats { seq, text }
+            }
+            T_TOPOLOGY_RESP => Response::Topology {
+                seq,
+                epoch: get_u64(&mut body)?,
+                ranges: get_ranges(&mut body)?,
+            },
+            T_WRONG_OWNER => Response::WrongOwner {
+                seq,
+                owner: get_u32(&mut body)?,
+                epoch: get_u64(&mut body)?,
+            },
+            T_SESSION_STATE => {
+                Response::SessionState { seq, state: get_session_state(&mut body)? }
             }
             T_BATCH_RESP => {
                 let group_count = get_u32(&mut body)? as usize;
@@ -1122,6 +1433,80 @@ mod tests {
         nested.extend_from_slice(&(inner.len() as u32).to_be_bytes());
         nested.extend_from_slice(&inner);
         assert!(matches!(Response::decode(&nested), Err(WireError::Malformed(_))));
+    }
+
+    fn sample_session_state() -> SessionState {
+        SessionState {
+            user: 17,
+            strategy: StrategySpec::Pbsr { height: 3 },
+            last_cell: Some(42),
+            delivery_log: vec![5, 9, 5],
+            fired: vec![5, 9],
+        }
+    }
+
+    #[test]
+    fn federation_control_messages_round_trip() {
+        round_trip_request(Request::Topology { seq: 21 });
+        round_trip_request(Request::HandoffExport { seq: 22, session: 7 });
+        round_trip_request(Request::HandoffRelease { seq: 23, session: 7 });
+        round_trip_request(Request::HandoffImport {
+            seq: 24,
+            session: 7,
+            state: sample_session_state(),
+        });
+        round_trip_request(Request::HandoffImport {
+            seq: 25,
+            session: 8,
+            state: SessionState {
+                user: 1,
+                strategy: StrategySpec::Mwpsr,
+                last_cell: None,
+                delivery_log: Vec::new(),
+                fired: Vec::new(),
+            },
+        });
+        let ranges = vec![
+            CellRange { start: 0, end: 1 << 33, owner: 0 },
+            CellRange { start: 1 << 33, end: u64::MAX, owner: 1 },
+        ];
+        round_trip_request(Request::InstallTopology { seq: 26, epoch: 3, ranges: ranges.clone() });
+        round_trip_response(Response::Topology { seq: 26, epoch: 3, ranges });
+        round_trip_response(Response::Topology { seq: 0, epoch: 0, ranges: Vec::new() });
+        round_trip_response(Response::WrongOwner { seq: 27, owner: 2, epoch: 5 });
+        round_trip_response(Response::SessionState { seq: 28, state: sample_session_state() });
+    }
+
+    #[test]
+    fn federation_frames_reject_malformed_bodies() {
+        // Import whose delivery-log length disagrees with the body.
+        let mut body = Request::HandoffImport {
+            seq: 1,
+            session: 2,
+            state: sample_session_state(),
+        }
+        .encode()
+        .to_vec();
+        body.push(0);
+        assert!(matches!(Request::decode(&body), Err(WireError::Malformed(_))));
+        // Topology push whose range count disagrees with the body.
+        let mut push = Request::InstallTopology {
+            seq: 1,
+            epoch: 1,
+            ranges: vec![CellRange { start: 0, end: u64::MAX, owner: 0 }],
+        }
+        .encode()
+        .to_vec();
+        push.truncate(push.len() - 4);
+        assert!(matches!(Request::decode(&push), Err(WireError::Malformed(_))));
+        // A wrong-owner bounce is valid nested inside a batch reply.
+        round_trip_response(Response::Batch {
+            seq: 4,
+            replies: vec![BatchReply {
+                session: 9,
+                responses: vec![Response::WrongOwner { seq: 3, owner: 1, epoch: 2 }],
+            }],
+        });
     }
 
     #[test]

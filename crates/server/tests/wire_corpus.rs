@@ -66,8 +66,10 @@ fn corpus() -> Vec<Case> {
         Case {
             name: "req_unknown_type",
             direction: Req,
-            bytes: frame(&[head(9, 0)], &[]),
-            expected: WireError::UnknownType(9),
+            // 14 and 15 are the last unallocated request-direction
+            // nibbles (9–13 became the federation control messages).
+            bytes: frame(&[head(14, 0)], &[]),
+            expected: WireError::UnknownType(14),
         },
         Case {
             name: "req_trailing_bytes",

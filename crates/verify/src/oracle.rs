@@ -228,7 +228,10 @@ impl OracleState<'_> {
                 | Response::Overloaded { .. }
                 | Response::Error { .. }
                 | Response::Stats { .. }
-                | Response::Batch { .. } => {}
+                | Response::Batch { .. }
+                | Response::Topology { .. }
+                | Response::WrongOwner { .. }
+                | Response::SessionState { .. } => {}
             }
         }
         Ok(())

@@ -101,6 +101,9 @@ pub fn error_kind(e: &TransportError) -> &'static str {
         TransportError::Closed => "closed",
         TransportError::TimedOut => "timed-out",
         TransportError::Protocol(_) => "protocol",
+        // The owner/epoch payload is deterministic, but the kind string
+        // keeps the digest stable if redirect bookkeeping ever changes.
+        TransportError::WrongOwner { .. } => "wrong-owner",
     }
 }
 

@@ -12,6 +12,8 @@
 //!   Prometheus text exposition,
 //! - [`sim`] — the distributed processing simulation and baselines,
 //! - [`server`] — the live grid-sharded safe-region service runtime,
+//! - [`fed`] — multi-server federation: partitioned cell ownership,
+//!   session handoff and live repartitioning,
 //! - [`viz`] — SVG rendering of networks, workloads and safe regions.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the system
@@ -21,6 +23,7 @@
 
 pub use sa_alarms as alarms;
 pub use sa_core as core;
+pub use sa_fed as fed;
 pub use sa_geometry as geometry;
 pub use sa_index as index;
 pub use sa_obs as obs;
