@@ -106,9 +106,23 @@ fn main() {
     let outcome = fed_replay(&cfg).expect("no fatal transport errors");
     let wall_seconds = started.elapsed().as_secs_f64();
     if let Err(e) = &outcome.verification {
+        // The rendered divergence flight bundle (span trees, trace
+        // rings, registry snapshots) is the forensic artifact — keep it.
+        let flight = PathBuf::from("FLIGHT_federation_replay.txt");
+        std::fs::write(&flight, e).expect("writing the flight bundle");
         eprintln!("federation replay diverged from ground truth:\n{e}");
+        eprintln!("flight bundle written to {}", flight.display());
         std::process::exit(1);
     }
+    // The merged causal trace of the run, loadable in Perfetto /
+    // chrome://tracing.
+    std::fs::write("TRACE_federation_replay.json", &outcome.trace_json)
+        .expect("writing the trace export");
+    println!(
+        "trace export → TRACE_federation_replay.json ({} spans, {} bytes)",
+        outcome.spans.len(),
+        outcome.trace_json.len()
+    );
     let rerun = fed_replay(&cfg).expect("no fatal transport errors on the rerun");
     if rerun.digest != outcome.digest {
         eprintln!(

@@ -20,7 +20,7 @@
 //!                      [--baseline-steps N] [--out PATH]`
 
 use sa_server::wire::StrategySpec;
-use sa_server::{replay_batched_in_proc, replay_in_proc, ReplayConfig, ServerConfig};
+use sa_server::{replay_batched_in_proc, replay_in_proc, ReplayConfig, ServerConfig, TraceMode};
 use sa_sim::{SimulationConfig, SimulationHarness};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -95,6 +95,7 @@ fn main() {
     let cfg = ReplayConfig {
         steps: opts.steps,
         server: ServerConfig::default(),
+        trace_mode: TraceMode::Full,
         strategies: vec![
             StrategySpec::Mwpsr,
             StrategySpec::Pbsr { height: 5 },

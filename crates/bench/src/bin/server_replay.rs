@@ -11,7 +11,7 @@
 //! Usage: `server_replay [--steps N] [--out PATH]`
 
 use sa_server::wire::StrategySpec;
-use sa_server::{replay_in_proc, ReplayConfig, ServerConfig};
+use sa_server::{replay_in_proc, ReplayConfig, ServerConfig, TraceMode};
 use sa_sim::{SimulationConfig, SimulationHarness};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -48,6 +48,7 @@ fn main() {
     let cfg = ReplayConfig {
         steps: Some(opts.steps),
         server: ServerConfig::default(),
+        trace_mode: TraceMode::Full,
         strategies: vec![
             StrategySpec::Mwpsr,
             StrategySpec::Pbsr { height: 5 },

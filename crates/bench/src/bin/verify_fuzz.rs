@@ -117,9 +117,20 @@ fn main() {
     for case in gating_cases() {
         let outcome = run_fed_case(&case);
         let passed = outcome.passed();
+        // Keep each case's causal trace as a CI artifact, pass or fail.
+        if !outcome.trace_json.is_empty() {
+            let path = opts.out.with_file_name(format!("TRACE_{}.json", outcome.name));
+            std::fs::write(&path, &outcome.trace_json).expect("writing the trace artifact");
+        }
         if let Some(failure) = &outcome.failure {
+            // A divergence failure carries the rendered flight bundle
+            // (span trees, trace rings, registry snapshots) — persist
+            // it whole rather than losing it to a truncated log line.
+            let path = opts.out.with_file_name(format!("FLIGHT_{}.txt", outcome.name));
+            std::fs::write(&path, failure).expect("writing the flight bundle");
             let v = format!("federation case '{}': {failure}", outcome.name);
             eprintln!("FEDERATION VIOLATION: {v}");
+            eprintln!("flight bundle: {}", path.display());
             fed_failures.push(v);
         }
         fed_cases.push((outcome, passed));

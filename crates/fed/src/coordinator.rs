@@ -18,8 +18,10 @@
 
 use crate::topology::PartitionMap;
 use sa_geometry::Grid;
-use sa_server::wire::{Request, Response, SEQ_MASK};
+use sa_obs::{trace_id_for, Span, SpanKind, SpanRecorder, TraceCtx};
+use sa_server::wire::{Request, Response, TraceCtxExt, SEQ_MASK};
 use sa_server::{SharedClock, Transport, TransportError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Transient-failure retries per member before a push attempt fails.
@@ -36,6 +38,10 @@ pub struct Coordinator {
     clock: SharedClock,
     seq: u32,
     repartitions: u64,
+    /// Causal-span recorder, when tracing is wired up; each accepted
+    /// push records a [`SpanKind::TopologyPush`] root the member's
+    /// `topology_install` span parents under.
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl Coordinator {
@@ -46,7 +52,15 @@ impl Coordinator {
         map: PartitionMap,
         clock: SharedClock,
     ) -> Coordinator {
-        Coordinator { links, map, clock, seq: 0, repartitions: 0 }
+        Coordinator { links, map, clock, seq: 0, repartitions: 0, spans: None }
+    }
+
+    /// Attaches a span recorder; topology pushes from here on carry an
+    /// explicit trace context and record [`SpanKind::TopologyPush`]
+    /// roots. Set the recorder's member id to a coordinator
+    /// pseudo-member before attaching so its spans are attributable.
+    pub fn set_spans(&mut self, spans: Arc<SpanRecorder>) {
+        self.spans = Some(spans);
     }
 
     /// The authoritative map.
@@ -97,17 +111,50 @@ impl Coordinator {
         epoch: u64,
         map: &PartitionMap,
     ) -> Result<(), TransportError> {
+        // One deterministic trace per (member, epoch): the push span is
+        // its root, the member's install span its only child.
+        let (trace, push_span) = match &self.spans {
+            Some(s) => {
+                let t = trace_id_for(0xFED0_0000 ^ member as u32, epoch as u32);
+                (TraceCtxExt { trace_id: t, parent_span: s.fresh_span_id() }, true)
+            }
+            None => (TraceCtxExt::default(), false),
+        };
+        let started_us = self.spans.as_ref().map_or(0, |s| s.now_us());
         let mut last = TransportError::TimedOut;
         for attempt in 0..=PUSH_RETRIES {
             if attempt > 0 {
                 self.clock.sleep(PUSH_RETRY_PAUSE);
             }
             let seq = self.next_seq();
-            let req = Request::InstallTopology { seq, epoch, ranges: map.ranges.clone() };
+            let req = Request::InstallTopology { seq, epoch, ranges: map.ranges.clone(), trace };
             match self.links[member].request(req) {
                 Ok(resps) => {
                     return match resps.into_iter().next_back() {
-                        Some(Response::Ack { .. }) => Ok(()),
+                        Some(Response::Ack { .. }) => {
+                            if push_span {
+                                if let Some(s) = &self.spans {
+                                    s.record(
+                                        0,
+                                        Span {
+                                            ctx: TraceCtx {
+                                                trace_id: trace.trace_id,
+                                                span_id: trace.parent_span,
+                                                parent: 0,
+                                            },
+                                            kind: SpanKind::TopologyPush,
+                                            start_us: started_us,
+                                            dur_us: s.now_us().saturating_sub(started_us),
+                                            member: s.member(),
+                                            shard: 0,
+                                            a: member as u64,
+                                            b: epoch,
+                                        },
+                                    );
+                                }
+                            }
+                            Ok(())
+                        }
                         _ => Err(TransportError::Protocol("member rejected a topology install")),
                     }
                 }

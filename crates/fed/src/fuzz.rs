@@ -46,6 +46,9 @@ pub struct FedCaseOutcome {
     pub repartitioned: bool,
     /// First failure detected, if any.
     pub failure: Option<String>,
+    /// Chrome trace-event JSON of the first run (CI keeps it as an
+    /// artifact; empty when the first run never completed).
+    pub trace_json: String,
 }
 
 impl FedCaseOutcome {
@@ -137,6 +140,7 @@ pub fn run_fed_case(case: &FedCase) -> FedCaseOutcome {
         injected: 0,
         repartitioned: false,
         failure: None,
+        trace_json: String::new(),
     };
     let first = match fed_replay(&case.config) {
         Ok(out) => out,
@@ -160,6 +164,7 @@ pub fn run_fed_case(case: &FedCase) -> FedCaseOutcome {
     outcome.injected = first.injected_total;
     outcome.repartitioned = first.repartitioned;
     outcome.failure = check(case, &first, &second);
+    outcome.trace_json = first.trace_json;
     outcome
 }
 

@@ -26,7 +26,7 @@
 //! resilience machinery retries the update, which re-enters the (still
 //! idempotent) migration.
 
-use sa_server::wire::{Request, Response, SEQ_MASK};
+use sa_server::wire::{Request, Response, TraceCtxExt, SEQ_MASK};
 use sa_server::{SharedClock, Transport, TransportError};
 use std::time::Duration;
 
@@ -82,8 +82,30 @@ impl HandoffChannel {
         to: usize,
         to_session: u32,
     ) -> Result<bool, TransportError> {
+        self.migrate_traced(from, from_session, to, to_session, TraceCtxExt::default())
+    }
+
+    /// [`HandoffChannel::migrate`] carrying an explicit trace context:
+    /// both owners record their handoff-leg spans under
+    /// `trace.parent_span`, so the legs appear inside the routed
+    /// request's causal tree. The legs stay byte-compatible with an
+    /// untraced peer (a zero context decodes as "untraced").
+    ///
+    /// # Errors
+    ///
+    /// As [`HandoffChannel::migrate`].
+    pub fn migrate_traced(
+        &mut self,
+        from: usize,
+        from_session: u32,
+        to: usize,
+        to_session: u32,
+        trace: TraceCtxExt,
+    ) -> Result<bool, TransportError> {
         let seq = self.next_seq();
-        let state = match self.retry(from, Request::HandoffExport { seq, session: from_session })? {
+        let state = match self
+            .retry(from, Request::HandoffExport { seq, session: from_session, trace })?
+        {
             ExchangeOutcome::State(state) => state,
             ExchangeOutcome::NoSession => return Ok(false),
             ExchangeOutcome::Ack => {
@@ -91,7 +113,7 @@ impl HandoffChannel {
             }
         };
         let seq = self.next_seq();
-        match self.retry(to, Request::HandoffImport { seq, session: to_session, state })? {
+        match self.retry(to, Request::HandoffImport { seq, session: to_session, state, trace })? {
             ExchangeOutcome::Ack => {}
             _ => return Err(TransportError::Protocol("import was not acknowledged")),
         }
@@ -99,7 +121,7 @@ impl HandoffChannel {
         // session behind, which is harmless — no further updates route
         // there, and a return crossing overwrite-imports on top of it.
         let seq = self.next_seq();
-        let _ = self.retry(from, Request::HandoffRelease { seq, session: from_session });
+        let _ = self.retry(from, Request::HandoffRelease { seq, session: from_session, trace });
         self.handoffs += 1;
         Ok(true)
     }

@@ -35,6 +35,11 @@
 //!   (virtual clock, seeded chaos on client links, mesh and coordinator
 //!   links, byte-level FNV digest) and the two named gating cases the
 //!   `verify_fuzz` PR gate runs.
+//! * [`stats`] — the federated scrape: [`federated_scrape`] renders
+//!   every member's metrics into one Prometheus document with a
+//!   `member` label, merges histograms into federation-level roll-ups,
+//!   and adds coordinator gauges (epoch, per-member owned cells, load
+//!   imbalance) plus p99 trace exemplars.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,6 +50,7 @@ pub mod fuzz;
 pub mod handoff;
 pub mod replay;
 pub mod router;
+pub mod stats;
 pub mod topology;
 
 pub use coordinator::Coordinator;
@@ -56,4 +62,5 @@ pub use fuzz::{
 pub use handoff::HandoffChannel;
 pub use replay::{fed_replay, FedOutcome, FedReplayConfig};
 pub use router::FedTransport;
+pub use stats::federated_scrape;
 pub use topology::PartitionMap;

@@ -23,9 +23,11 @@ use crate::coordinator::Coordinator;
 use crate::federation::Federation;
 use crate::handoff::HandoffChannel;
 use crate::router::FedTransport;
+use crate::stats::federated_scrape;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sa_alarms::SubscriberId;
 use sa_geometry::Point;
+use sa_obs::{chrome_trace_json, FlightBundle, Span, SpanRecorder, TimeSource};
 use sa_roadnet::Fleet;
 use sa_server::wire::{BatchedUpdate, SEQ_MASK};
 use sa_server::{
@@ -40,6 +42,19 @@ use std::time::Duration;
 /// Batch retry rounds per step before the driver gives up (guards
 /// against livelock, far above anything a healthy run reaches).
 const MAX_BATCH_ROUNDS: u32 = 10_000;
+
+/// Span-buffer capacity of each client router's recorder.
+const ROUTER_SPAN_CAPACITY: usize = 1024;
+
+/// Span-buffer capacity of the coordinator's recorder.
+const COORD_SPAN_CAPACITY: usize = 256;
+
+/// Pseudo-member id base for client routers — offset by the vehicle id,
+/// above any real federation size so merged spans stay attributable.
+const ROUTER_MEMBER_BASE: u32 = 100;
+
+/// Pseudo-member id of the coordinator in merged span records.
+const COORDINATOR_MEMBER: u32 = 200;
 
 /// One fully-specified federation replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +139,15 @@ pub struct FedOutcome {
     pub injected_total: u64,
     /// Steps driven.
     pub steps: u32,
+    /// Every span the run recorded — members, client routers and the
+    /// coordinator merged and sorted on one time axis. Feed to
+    /// [`sa_obs::assemble`] for causal trees.
+    pub spans: Vec<Span>,
+    /// Chrome trace-event JSON over [`FedOutcome::spans`] (loadable in
+    /// Perfetto / `chrome://tracing`).
+    pub trace_json: String,
+    /// The federated Prometheus scrape taken at the end of the run.
+    pub scrape: String,
 }
 
 /// FNV-1a folded over tagged exchange bytes, shared by every
@@ -241,11 +265,19 @@ pub fn fed_replay(cfg: &FedReplayConfig) -> Result<FedOutcome, TransportError> {
     );
     let digest: DigestState = Arc::new(Mutex::new(FNV_OFFSET));
 
+    // One time source for every recorder in the run, reading the shared
+    // virtual clock — merged spans land on a single time axis.
+    let time = {
+        let clock = Arc::clone(&clock);
+        TimeSource::new(move || clock.now_ns() / 1_000)
+    };
+
     // Inter-server legs reuse the plan's probabilistic faults but not
     // the breaker windows: radio outages hit vehicles, not trunks.
     let trunk_plan = FaultPlan { disconnect_steps: Vec::new(), ..cfg.plan.clone() };
 
     let mut seats: Vec<Seat> = Vec::with_capacity(vehicles as usize);
+    let mut seat_spans: Vec<Arc<SpanRecorder>> = Vec::with_capacity(vehicles as usize);
     for v in 0..vehicles {
         let mut controls = Vec::with_capacity(n);
         let mut counts = Vec::with_capacity(n);
@@ -285,6 +317,10 @@ pub fn fed_replay(cfg: &FedReplayConfig) -> Result<FedOutcome, TransportError> {
             fed.initial_map().clone(),
         );
         router.instrument(fed.server(0).registry());
+        let spans = Arc::new(SpanRecorder::new(1, ROUTER_SPAN_CAPACITY, time.clone()));
+        spans.set_member(ROUTER_MEMBER_BASE + v);
+        router.set_spans(Arc::clone(&spans));
+        seat_spans.push(spans);
         let strategy = cfg.strategies[v as usize % cfg.strategies.len()];
         let mut client =
             Client::connect(router, SubscriberId(v), strategy, harness.grid().clone(), dt)?;
@@ -321,6 +357,9 @@ pub fn fed_replay(cfg: &FedReplayConfig) -> Result<FedOutcome, TransportError> {
         .collect();
     let mut coordinator =
         Coordinator::new(coordinator_links, fed.initial_map().clone(), Arc::clone(&clock));
+    let coordinator_spans = Arc::new(SpanRecorder::new(1, COORD_SPAN_CAPACITY, time.clone()));
+    coordinator_spans.set_member(COORDINATOR_MEMBER);
+    coordinator.set_spans(Arc::clone(&coordinator_spans));
 
     // Handshakes are done — arm the client-link fault plans.
     for seat in &seats {
@@ -396,6 +435,21 @@ pub fn fed_replay(cfg: &FedReplayConfig) -> Result<FedOutcome, TransportError> {
     }
     injected_total += coordinator_counts.iter().map(|c| c.total()).sum::<u64>();
 
+    // Merge every recorder — members, client routers, coordinator —
+    // into one causally-ordered record while the servers are still up.
+    let mut all_spans: Vec<Span> = Vec::new();
+    for s in fed.servers() {
+        all_spans.extend(s.spans());
+    }
+    for spans in &seat_spans {
+        all_spans.extend(spans.spans());
+    }
+    all_spans.extend(coordinator_spans.spans());
+    all_spans.sort_by_key(|s| (s.start_us, s.ctx.span_id));
+    let trace_json = chrome_trace_json(&all_spans);
+    let scrape =
+        federated_scrape(fed.servers(), fed.grid(), coordinator.map(), &fed.cell_loads());
+
     let expected: Vec<FiredEvent> = harness
         .ground_truth()
         .events()
@@ -404,13 +458,16 @@ pub fn fed_replay(cfg: &FedReplayConfig) -> Result<FedOutcome, TransportError> {
         .cloned()
         .collect();
     let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
-        let dumps: Vec<String> = fed
-            .servers()
-            .iter()
-            .enumerate()
-            .map(|(i, s)| format!("member {i}:\n{}", s.trace_dump()))
-            .collect();
-        format!("{e}\nfederation trace rings:\n{}", dumps.join("\n"))
+        // The flight recorder: one forensic bundle per divergence —
+        // merged span trees, every member's trace ring, every member's
+        // registry snapshot.
+        let mut bundle = FlightBundle::new(e);
+        bundle.spans = all_spans.clone();
+        for (i, s) in fed.servers().iter().enumerate() {
+            bundle.rings.push((format!("member {i}"), s.trace_dump()));
+            bundle.snapshots.push((format!("member {i}"), s.registry().snapshot()));
+        }
+        bundle.render()
     });
 
     let per_partition_updates: Vec<u64> =
@@ -432,6 +489,9 @@ pub fn fed_replay(cfg: &FedReplayConfig) -> Result<FedOutcome, TransportError> {
         repartitioned,
         injected_total,
         steps,
+        spans: all_spans,
+        trace_json,
+        scrape,
     })
 }
 
@@ -558,6 +618,9 @@ mod tests {
         out.verification.as_ref().expect("fired set must match ground truth");
         assert_eq!(out.per_partition_updates.len(), 2);
         assert_eq!(out.final_epoch, 0);
+        assert!(out.trace_json.contains("\"traceEvents\""), "trace export must be produced");
+        assert!(out.scrape.contains("member=\"federation\""), "scrape must carry roll-ups");
+        assert!(out.scrape.contains("sa_fed_epoch"), "scrape must carry coordinator gauges");
     }
 
     #[test]

@@ -27,9 +27,12 @@
 use crate::handoff::HandoffChannel;
 use crate::topology::PartitionMap;
 use sa_geometry::{Grid, Point};
-use sa_obs::{Counter, Registry};
-use sa_server::wire::{dequantize_m, Request, Response};
+use sa_obs::{
+    client_root_span, trace_id_for, Counter, Registry, Span, SpanKind, SpanRecorder, TraceCtx,
+};
+use sa_server::wire::{dequantize_m, Request, Response, TraceCtxExt};
 use sa_server::{Transport, TransportError};
+use std::sync::Arc;
 
 /// `WrongOwner` bounces tolerated per routed exchange before the
 /// redirect escapes to the caller. Each bounce refreshes the map from a
@@ -51,6 +54,10 @@ pub struct FedTransport {
     owner: Option<usize>,
     redirects: u64,
     meter: Option<Counter>,
+    /// Client-side span recorder: records each routed update's
+    /// [`SpanKind::ClientUpdate`] root and any [`SpanKind::RedirectHop`]
+    /// bounces, on the same trace ids the members derive server-side.
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl FedTransport {
@@ -69,7 +76,24 @@ impl FedTransport {
         assert!(!links.is_empty(), "a federation needs at least one member");
         assert!(!map.ranges.is_empty(), "the partition map must cover the key space");
         let (links, sessions) = links.into_iter().unzip();
-        FedTransport { links, sessions, mesh, map, grid, owner: None, redirects: 0, meter: None }
+        FedTransport {
+            links,
+            sessions,
+            mesh,
+            map,
+            grid,
+            owner: None,
+            redirects: 0,
+            meter: None,
+            spans: None,
+        }
+    }
+
+    /// Attaches a span recorder. Give the recorder a router
+    /// pseudo-member id (e.g. `100 + vehicle`) so client-side spans are
+    /// distinguishable from member spans in the merged timeline.
+    pub fn set_spans(&mut self, spans: Arc<SpanRecorder>) {
+        self.spans = Some(spans);
     }
 
     /// Registers `sa_client_redirects_total` on `registry` (the same
@@ -117,6 +141,12 @@ impl FedTransport {
     ///
     /// Fails when the migration stays broken past its retry budget.
     pub fn route_for(&mut self, pos: Point) -> Result<usize, TransportError> {
+        self.route_for_traced(pos, None)
+    }
+
+    /// [`FedTransport::route_for`], threading the routed request's
+    /// sequence number so a migration's handoff legs join its trace.
+    fn route_for_traced(&mut self, pos: Point, seq: Option<u32>) -> Result<usize, TransportError> {
         let key = self.grid.morton_of(self.grid.cell_of(pos));
         let desired = match self.map.owner_of(key) {
             Some(o) => o as usize,
@@ -124,7 +154,7 @@ impl FedTransport {
             // lives — the member will answer or bounce with its view.
             None => self.owner.unwrap_or(0),
         };
-        self.ensure_owner(desired)?;
+        self.ensure_owner(desired, seq)?;
         Ok(self.owner.expect("ensure_owner places the session"))
     }
 
@@ -142,7 +172,8 @@ impl FedTransport {
 
     /// Pulls the member's current map and adopts it if strictly newer.
     fn refresh_topology(&mut self, member: usize, seq: u32) -> Result<(), TransportError> {
-        let resps = self.links[member].request(Request::Topology { seq })?;
+        let resps = self.links[member]
+            .request(Request::Topology { seq, trace: TraceCtxExt::default() })?;
         match resps.into_iter().next_back() {
             Some(Response::Topology { epoch, ranges, .. }) => {
                 if epoch > self.map.epoch {
@@ -155,8 +186,11 @@ impl FedTransport {
     }
 
     /// Moves the session to `desired` if it lives elsewhere. On error
-    /// the owner is left unchanged, so re-entering is safe.
-    fn ensure_owner(&mut self, desired: usize) -> Result<(), TransportError> {
+    /// the owner is left unchanged, so re-entering is safe. When `seq`
+    /// is known, the handoff legs carry the routed request's trace
+    /// context (the trace the *destination* member will derive, since
+    /// that is where the update lands after the migration).
+    fn ensure_owner(&mut self, desired: usize, seq: Option<u32>) -> Result<(), TransportError> {
         match self.owner {
             // First placement: every member holds this client's fresh
             // `Hello` session and nothing has accumulated yet, so there
@@ -167,11 +201,19 @@ impl FedTransport {
             }
             Some(current) if current == desired => Ok(()),
             Some(current) => {
-                self.mesh.migrate(
+                let ctx = match (seq, &self.spans) {
+                    (Some(seq), Some(_)) => {
+                        let trace = trace_id_for(self.sessions[desired], seq);
+                        TraceCtxExt { trace_id: trace, parent_span: client_root_span(trace) }
+                    }
+                    _ => TraceCtxExt::default(),
+                };
+                self.mesh.migrate_traced(
                     current,
                     self.sessions[current],
                     desired,
                     self.sessions[desired],
+                    ctx,
                 )?;
                 self.owner = Some(desired);
                 Ok(())
@@ -184,6 +226,59 @@ impl FedTransport {
         if let Some(m) = &self.meter {
             m.inc();
         }
+    }
+
+    /// Records the client-side root span of the exchange sent to
+    /// `member` — its id is [`client_root_span`] of the trace the member
+    /// derives, so the member's dispatch span parents under it with no
+    /// wire bytes spent.
+    fn record_root(&self, member: usize, seq: u32, start_us: u64) {
+        let Some(spans) = &self.spans else { return };
+        let trace = trace_id_for(self.sessions[member], seq);
+        if !spans.enabled(trace) {
+            return;
+        }
+        spans.record(
+            0,
+            Span {
+                ctx: TraceCtx { trace_id: trace, span_id: client_root_span(trace), parent: 0 },
+                kind: SpanKind::ClientUpdate,
+                start_us,
+                dur_us: spans.now_us().saturating_sub(start_us),
+                member: spans.member(),
+                shard: 0,
+                a: u64::from(self.sessions[member]),
+                b: u64::from(seq),
+            },
+        );
+    }
+
+    /// Records one absorbed `WrongOwner` bounce under the bounced
+    /// exchange's root.
+    fn record_redirect(&self, member: usize, seq: u32, owner: u32, epoch: u64) {
+        let Some(spans) = &self.spans else { return };
+        let trace = trace_id_for(self.sessions[member], seq);
+        if !spans.enabled(trace) {
+            return;
+        }
+        let now = spans.now_us();
+        spans.record(
+            0,
+            Span {
+                ctx: TraceCtx {
+                    trace_id: trace,
+                    span_id: spans.fresh_span_id(),
+                    parent: client_root_span(trace),
+                },
+                kind: SpanKind::RedirectHop,
+                start_us: now,
+                dur_us: 0,
+                member: spans.member(),
+                shard: 0,
+                a: u64::from(owner),
+                b: epoch,
+            },
+        );
     }
 
     /// Broadcast to every member; the first member's response sequence
@@ -211,14 +306,21 @@ impl FedTransport {
     ) -> Result<Vec<Response>, TransportError> {
         let pos = Point::new(dequantize_m(x_fx), dequantize_m(y_fx));
         let key = self.grid.morton_of(self.grid.cell_of(pos));
-        self.route_for(pos)?;
+        let start_us = self.spans.as_ref().map_or(0, |s| s.now_us());
+        self.route_for_traced(pos, Some(seq))?;
         for _ in 0..REDIRECT_BUDGET {
             let member = self.owner.expect("route_for places the session");
             let resps = self.links[member].request(req.clone())?;
             let (owner, epoch) = match resps.last() {
                 Some(Response::WrongOwner { owner, epoch, .. }) => (*owner, *epoch),
-                _ => return Ok(resps),
+                _ => {
+                    self.record_root(member, seq, start_us);
+                    return Ok(resps);
+                }
             };
+            // The bounced send is its own (short) trace: root plus hop.
+            self.record_root(member, seq, start_us);
+            self.record_redirect(member, seq, owner, epoch);
             self.count_redirect();
             self.refresh_topology(member, seq)?;
             let desired = match self.map.owner_of(key) {
@@ -230,7 +332,7 @@ impl FedTransport {
             if desired >= self.links.len() {
                 return Err(TransportError::WrongOwner { owner, epoch });
             }
-            self.ensure_owner(desired)?;
+            self.ensure_owner(desired, Some(seq))?;
         }
         Err(TransportError::WrongOwner {
             owner: self.owner.unwrap_or(0) as u32,
@@ -360,7 +462,12 @@ mod tests {
         for s in fed.servers() {
             let mut admin = InProcTransport::connect(Arc::clone(s));
             let resps = admin
-                .request(Request::InstallTopology { seq: 9, epoch: 1, ranges: flipped.clone() })
+                .request(Request::InstallTopology {
+                    seq: 9,
+                    epoch: 1,
+                    ranges: flipped.clone(),
+                    trace: sa_server::wire::TraceCtxExt::default(),
+                })
                 .unwrap();
             assert!(matches!(resps.as_slice(), [Response::Ack { .. }]), "install must ack");
         }

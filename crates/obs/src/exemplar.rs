@@ -1,0 +1,107 @@
+//! Histogram exemplars: one trace id remembered per latency bucket.
+//!
+//! A quantile answers *how slow*; an exemplar answers *which request* —
+//! each histogram bucket keeps the trace id of the last value that
+//! landed in it, so a p99 readout links straight to the span tree of a
+//! request that actually exhibited that latency. The storage is one
+//! atomic pair per bucket (same 496-bucket layout as
+//! [`crate::histogram`]), recorded with two relaxed stores: a torn
+//! value/trace pairing across a race is acceptable for forensics and
+//! costs nothing on the hot path.
+
+use crate::histogram::{bucket_count, bucket_index};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One exemplar readout: the observed value and the trace that produced
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (nanoseconds for latency series).
+    pub value: u64,
+    /// The trace id active when the value was recorded.
+    pub trace_id: u64,
+}
+
+/// Per-bucket last-exemplar storage for one histogram series.
+#[derive(Debug)]
+pub struct Exemplars {
+    values: Vec<AtomicU64>,
+    traces: Vec<AtomicU64>,
+}
+
+impl Default for Exemplars {
+    fn default() -> Exemplars {
+        Exemplars::new()
+    }
+}
+
+impl Exemplars {
+    /// Empty storage (one slot per histogram bucket).
+    pub fn new() -> Exemplars {
+        Exemplars {
+            values: (0..bucket_count()).map(|_| AtomicU64::new(0)).collect(),
+            traces: (0..bucket_count()).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Remembers `trace_id` as the latest exemplar of `value`'s bucket.
+    /// A `trace_id` of 0 (untraced) is skipped so a traced exemplar is
+    /// never overwritten by an untraced one.
+    pub fn observe(&self, value: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let i = bucket_index(value);
+        self.values[i].store(value, Ordering::Relaxed);
+        self.traces[i].store(trace_id, Ordering::Relaxed);
+    }
+
+    /// The exemplar of the bucket containing `value`, if one was
+    /// recorded — pass a snapshot's p99 to get the trace that landed in
+    /// the p99 bucket.
+    pub fn for_value(&self, value: u64) -> Option<Exemplar> {
+        let i = bucket_index(value);
+        let trace_id = self.traces[i].load(Ordering::Relaxed);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Exemplar { value: self.values[i].load(Ordering::Relaxed), trace_id })
+    }
+
+    /// Every recorded exemplar, bucket-ascending (i.e. value-ascending).
+    pub fn all(&self) -> Vec<Exemplar> {
+        (0..bucket_count())
+            .filter_map(|i| {
+                let trace_id = self.traces[i].load(Ordering::Relaxed);
+                (trace_id != 0)
+                    .then(|| Exemplar { value: self.values[i].load(Ordering::Relaxed), trace_id })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_then_lookup_round_trips_through_the_bucket() {
+        let e = Exemplars::new();
+        e.observe(5_000, 0xAB);
+        // Any value in the same bucket finds the exemplar.
+        let hit = e.for_value(5_000).expect("exemplar recorded");
+        assert_eq!(hit, Exemplar { value: 5_000, trace_id: 0xAB });
+        assert!(e.for_value(1).is_none(), "other buckets stay empty");
+    }
+
+    #[test]
+    fn later_observations_win_and_untraced_ones_do_not_clobber() {
+        let e = Exemplars::new();
+        e.observe(5_000, 1);
+        e.observe(5_001, 2);
+        assert_eq!(e.for_value(5_000).unwrap().trace_id, 2, "last trace wins in a bucket");
+        e.observe(5_002, 0);
+        assert_eq!(e.for_value(5_000).unwrap().trace_id, 2, "untraced values are skipped");
+        assert_eq!(e.all().len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! The divergence flight recorder: one forensic bundle per failure.
+//!
+//! When a replay or verification run diverges from ground truth, the
+//! scattered evidence — which spans led up to the divergent firing,
+//! what each member's trace ring held, what the counters said — used to
+//! be a bare trace-ring text append. A [`FlightBundle`] gathers all
+//! three into one renderable document so the failure message *is* the
+//! forensic record: the assembled span trees around the divergence,
+//! every member's ring dump, and every member's registry snapshot in
+//! Prometheus text.
+
+use crate::export::{assemble, render_tree};
+use crate::prometheus::render_snapshot;
+use crate::registry::Snapshot;
+use crate::span::Span;
+use std::fmt::Write as _;
+
+/// Everything gathered at a divergence (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FlightBundle {
+    /// The verification error that triggered the recorder.
+    pub reason: String,
+    /// Spans collected from every member and router, merged.
+    pub spans: Vec<Span>,
+    /// `(source label, trace-ring dump)` per member.
+    pub rings: Vec<(String, String)>,
+    /// `(source label, registry snapshot)` per member.
+    pub snapshots: Vec<(String, Snapshot)>,
+}
+
+impl FlightBundle {
+    /// A bundle seeded with the triggering error.
+    pub fn new(reason: impl Into<String>) -> FlightBundle {
+        FlightBundle { reason: reason.into(), ..FlightBundle::default() }
+    }
+
+    /// Renders the bundle as one text document: the reason, the
+    /// assembled span trees, then per-source ring dumps and snapshots.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.reason);
+        let _ = writeln!(out, "\n=== flight recorder ===");
+        let trees = assemble(&self.spans);
+        if trees.is_empty() {
+            let _ = writeln!(out, "\n-- span trees: none recorded --");
+        } else {
+            let _ = writeln!(out, "\n-- span trees ({} traces) --", trees.len());
+            out.push_str(&render_tree(&trees));
+        }
+        for (label, dump) in &self.rings {
+            let _ = writeln!(out, "\n-- trace ring: {label} --");
+            if dump.is_empty() {
+                let _ = writeln!(out, "(empty)");
+            } else {
+                out.push_str(dump);
+            }
+        }
+        for (label, snap) in &self.snapshots {
+            let _ = writeln!(out, "\n-- registry snapshot: {label} --");
+            out.push_str(&render_snapshot(snap));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::span::{SpanKind, TraceCtx};
+
+    #[test]
+    fn render_carries_reason_trees_rings_and_snapshots() {
+        let registry = Registry::new();
+        registry.counter("sa_fired_total").add(3);
+        let mut bundle = FlightBundle::new("fired #4 expected (1,2) got (1,3)");
+        bundle.spans.push(Span {
+            ctx: TraceCtx { trace_id: 7, span_id: 1, parent: 0 },
+            kind: SpanKind::ClientUpdate,
+            start_us: 0,
+            dur_us: 2,
+            member: 0,
+            shard: 0,
+            a: 0,
+            b: 0,
+        });
+        bundle.rings.push(("member 0".to_string(), "+0us shard=0 trigger a=1 b=2\n".to_string()));
+        bundle.rings.push(("member 1".to_string(), String::new()));
+        bundle.snapshots.push(("member 0".to_string(), registry.snapshot()));
+        let text = bundle.render();
+        assert!(text.starts_with("fired #4 expected (1,2) got (1,3)"));
+        assert!(text.contains("=== flight recorder ==="));
+        assert!(text.contains("span trees (1 traces)"));
+        assert!(text.contains("client_update"));
+        assert!(text.contains("-- trace ring: member 0 --"));
+        assert!(text.contains("(empty)"), "empty rings say so instead of vanishing");
+        assert!(text.contains("sa_fired_total 3"));
+    }
+}

@@ -16,6 +16,15 @@
 //! * [`TraceRing`] — a per-shard, fixed-capacity, drop-oldest event ring
 //!   with a merged text dump, for post-mortem debugging of replay
 //!   mismatches without a debugger attached.
+//! * [`SpanRecorder`] — typed causal spans keyed by
+//!   `{trace_id, span_id, parent}`, with deterministic data-plane trace
+//!   derivation ([`trace_id_for`]) so the paper's bit-accounted frames
+//!   stay byte-identical; [`assemble`] / [`chrome_trace_json`] merge
+//!   many members' buffers into one Perfetto-loadable timeline.
+//! * [`Exemplars`] — per-histogram-bucket trace ids linking a p99
+//!   readout to a trace that actually landed in that bucket.
+//! * [`FlightBundle`] — the divergence flight recorder: span trees,
+//!   ring dumps and registry snapshots rendered as one forensic text.
 //! * [`render`] — the Prometheus text exposition format, used both by the
 //!   wire-level `StatsRequest` scrape and by the offline drivers, so a
 //!   live server and a replay log read identically.
@@ -26,12 +35,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exemplar;
+pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod prometheus;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
+pub use exemplar::{Exemplar, Exemplars};
+pub use export::{assemble, chrome_trace_json, render_tree, TraceTree};
+pub use flight::FlightBundle;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use prometheus::{render, render_snapshot};
 pub use registry::{Counter, Gauge, MetricKey, Registry, Snapshot};
-pub use trace::{TraceEvent, TraceRing};
+pub use span::{
+    client_root_span, dispatch_span, trace_id_for, Span, SpanKind, SpanRecorder, TraceCtx,
+    TraceMode,
+};
+pub use trace::{TimeSource, TraceEvent, TraceRing};

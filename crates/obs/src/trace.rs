@@ -6,15 +6,58 @@
 //! never crowd out its siblings' history. [`TraceRing::dump`] merges all
 //! shards into one time-sorted text log, the thing you paste into a bug
 //! report when a replay diverges from the ground truth.
+//!
+//! Timestamps come from a [`TimeSource`] so a runtime driven by a
+//! virtual clock produces byte-identical dumps per seed; the default
+//! source is wall-clock (`Instant`-anchored) for standalone use.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Where trace timestamps come from: a shared closure returning
+/// microseconds on some monotonic axis.
+///
+/// sa-obs cannot depend on the server's `Clock` seam (the dependency
+/// points the other way), so the seam is threaded in as a closure: the
+/// server wraps its clock, tests wrap a counter, and standalone users
+/// take [`TimeSource::system`].
+#[derive(Clone)]
+pub struct TimeSource {
+    now_us: Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl TimeSource {
+    /// A source reading `now_us` — typically a closure over a shared
+    /// clock, converting its nanoseconds to microseconds.
+    pub fn new(now_us: impl Fn() -> u64 + Send + Sync + 'static) -> TimeSource {
+        TimeSource { now_us: Arc::new(now_us) }
+    }
+
+    /// The wall-clock source: microseconds since the source was created.
+    pub fn system() -> TimeSource {
+        let start = Instant::now();
+        TimeSource::new(move || u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        (self.now_us)()
+    }
+}
+
+impl fmt::Debug for TimeSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimeSource").finish_non_exhaustive()
+    }
+}
 
 /// One recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Microseconds since the ring was created.
+    /// Microseconds on the ring's [`TimeSource`] axis.
     pub t_us: u64,
     /// The shard (or pseudo-shard, e.g. the router) that recorded it.
     pub shard: usize,
@@ -31,22 +74,34 @@ pub struct TraceEvent {
 pub struct TraceRing {
     shards: Vec<Mutex<VecDeque<TraceEvent>>>,
     capacity: usize,
-    start: Instant,
+    time: TimeSource,
 }
 
 impl TraceRing {
-    /// A ring set of `shards` rings holding `capacity` events each.
+    /// A ring set of `shards` rings holding `capacity` events each, on
+    /// the wall clock ([`TimeSource::system`]).
     ///
     /// # Panics
     ///
     /// Panics when `shards` or `capacity` is zero.
     pub fn new(shards: usize, capacity: usize) -> TraceRing {
+        TraceRing::with_time_source(shards, capacity, TimeSource::system())
+    }
+
+    /// A ring set reading timestamps from `time` — the deterministic
+    /// constructor: under a virtual clock, identical schedules give
+    /// byte-identical dumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `capacity` is zero.
+    pub fn with_time_source(shards: usize, capacity: usize, time: TimeSource) -> TraceRing {
         assert!(shards > 0, "need at least one shard ring");
         assert!(capacity > 0, "rings must hold at least one event");
         TraceRing {
             shards: (0..shards).map(|_| Mutex::new(VecDeque::with_capacity(capacity))).collect(),
             capacity,
-            start: Instant::now(),
+            time,
         }
     }
 
@@ -60,7 +115,7 @@ impl TraceRing {
     /// (the router's pseudo-shard) rather than panicking — tracing must
     /// never take a hot path down.
     pub fn event(&self, shard: usize, label: &'static str, a: u64, b: u64) {
-        let t_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let t_us = self.time.now_us();
         let ring = &self.shards[shard.min(self.shards.len() - 1)];
         let mut ring = ring.lock().expect("trace ring poisoned");
         if ring.len() == self.capacity {
@@ -106,6 +161,7 @@ impl TraceRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn rings_drop_oldest_per_shard() {
@@ -141,5 +197,27 @@ mod tests {
         assert!(first < second, "events appear in time order");
         assert!(dump.contains("a=3 b=4"));
         assert!(!ring.is_empty());
+    }
+
+    /// A counter-backed source: each record is a distinct, reproducible
+    /// timestamp, mimicking a virtual clock.
+    fn ticking() -> TimeSource {
+        let tick = AtomicU64::new(0);
+        TimeSource::new(move || tick.fetch_add(7, Ordering::Relaxed))
+    }
+
+    #[test]
+    fn injected_time_source_makes_dumps_reproducible() {
+        let record = |ring: &TraceRing| {
+            ring.event(0, "alpha", 1, 2);
+            ring.event(1, "beta", 3, 4);
+            ring.event(0, "gamma", 5, 6);
+        };
+        let a = TraceRing::with_time_source(2, 8, ticking());
+        let b = TraceRing::with_time_source(2, 8, ticking());
+        record(&a);
+        record(&b);
+        assert_eq!(a.dump(), b.dump(), "identical schedules give byte-identical dumps");
+        assert!(a.dump().starts_with("+         0us shard=0 alpha"));
     }
 }

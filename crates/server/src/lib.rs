@@ -68,6 +68,7 @@ pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
 pub use replay::{
     replay, replay_batched_in_proc, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome,
 };
+pub use sa_obs::TraceMode;
 pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
 pub use shard::{shard_of_index, ShardIndex, ShardPool};
 pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};

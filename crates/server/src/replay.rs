@@ -18,7 +18,7 @@ use crate::transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport
 use crate::wire::{BatchReply, BatchedUpdate, Request, Response, StrategySpec, SEQ_MASK};
 use crate::CacheStats;
 use sa_alarms::SubscriberId;
-use sa_obs::Snapshot;
+use sa_obs::{FlightBundle, Snapshot, TraceMode};
 use sa_roadnet::Fleet;
 use sa_sim::{FiredEvent, GroundTruth, SimulationHarness};
 use std::sync::Arc;
@@ -32,6 +32,10 @@ pub struct ReplayConfig {
     pub server: ServerConfig,
     /// Strategies assigned to vehicles round-robin.
     pub strategies: Vec<StrategySpec>,
+    /// Span-recording mode installed on the server at start — the
+    /// `trace_overhead` bench drives the same replay with tracing off
+    /// and fully on to price the instrumentation.
+    pub trace_mode: TraceMode,
 }
 
 impl Default for ReplayConfig {
@@ -39,6 +43,7 @@ impl Default for ReplayConfig {
         ReplayConfig {
             steps: None,
             server: ServerConfig::default(),
+            trace_mode: TraceMode::Full,
             strategies: vec![
                 StrategySpec::Mwpsr,
                 StrategySpec::Pbsr { height: 5 },
@@ -121,6 +126,7 @@ where
         harness.v_max(),
         cfg.server,
     );
+    server.set_trace_mode(cfg.trace_mode);
 
     let mut clients: Vec<Client<T>> = (0..config.fleet.vehicles as u32)
         .map(|v| {
@@ -155,16 +161,10 @@ where
         .filter(|e| e.step < steps)
         .cloned()
         .collect();
-    // On a divergence, append the server's trace-ring dump — the
-    // post-mortem context a bare diff line lacks.
-    let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
-        let dump = server.trace_dump();
-        if dump.is_empty() {
-            e
-        } else {
-            format!("{e}\nserver trace ring:\n{dump}")
-        }
-    });
+    // On a divergence, the failure message is a flight-recorder bundle:
+    // span trees, trace ring and registry snapshot in one document.
+    let verification =
+        GroundTruth::new(expected).verify(&fired).map_err(|e| divergence_bundle(e, &server));
 
     let outcome = ReplayOutcome {
         fired,
@@ -177,6 +177,16 @@ where
     };
     server.shutdown();
     Ok(outcome)
+}
+
+/// Renders the single-server divergence flight bundle (see
+/// [`FlightBundle`]).
+fn divergence_bundle(reason: String, server: &Server) -> String {
+    let mut bundle = FlightBundle::new(reason);
+    bundle.spans = server.spans();
+    bundle.rings.push(("server".to_string(), server.trace_dump()));
+    bundle.snapshots.push(("server".to_string(), server.registry().snapshot()));
+    bundle.render()
 }
 
 /// [`replay`] over the in-process transport.
@@ -241,6 +251,7 @@ pub fn replay_batched_in_proc(
         harness.v_max(),
         cfg.server,
     );
+    server.set_trace_mode(cfg.trace_mode);
 
     // One contiguous vehicle range per worker, like the simulator's own
     // parallel replay.
@@ -284,14 +295,8 @@ pub fn replay_batched_in_proc(
         .filter(|e| e.step < steps)
         .cloned()
         .collect();
-    let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
-        let dump = server.trace_dump();
-        if dump.is_empty() {
-            e
-        } else {
-            format!("{e}\nserver trace ring:\n{dump}")
-        }
-    });
+    let verification =
+        GroundTruth::new(expected).verify(&fired).map_err(|e| divergence_bundle(e, &server));
 
     let outcome = ReplayOutcome {
         fired,

@@ -19,14 +19,17 @@ use crate::clock::{SharedClock, SystemClock};
 use crate::shard::{shard_of_index, Job, JobPayload, ShardIndex, ShardPool, ShardUpdate, SubmitError};
 use crate::wire::{
     dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, CellRange, Request,
-    Response, SessionState, StrategySpec, SEQ_MASK,
+    Response, SessionState, StrategySpec, TraceCtxExt, SEQ_MASK,
 };
 use crossbeam::channel::unbounded;
 use parking_lot::RwLock;
 use sa_alarms::{AlarmId, AlarmIndex, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
 use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
 use sa_geometry::{CellId, Grid, Point, Rect};
-use sa_obs::{Counter, Histogram, Registry, TraceRing};
+use sa_obs::{
+    client_root_span, dispatch_span, trace_id_for, Counter, Exemplars, Histogram, Registry, Span,
+    SpanKind, SpanRecorder, TimeSource, TraceCtx, TraceMode, TraceRing,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -267,6 +270,12 @@ struct Core {
     /// One ring per shard plus a router pseudo-shard (index
     /// `num_shards`).
     tracer: TraceRing,
+    /// Typed causal spans, one lane per shard plus the router lane —
+    /// the raw material of the federation-wide trace assembly.
+    spans: SpanRecorder,
+    /// Per-bucket trace exemplars of `sa_update_rtt_ns`, linking a p99
+    /// readout to a trace that actually landed in that bucket.
+    rtt_exemplars: Exemplars,
     next_session: AtomicU32,
     /// Every timestamp the runtime takes reads this clock — swap in a
     /// [`crate::clock::VirtualClock`] and timings become simulated.
@@ -275,6 +284,10 @@ struct Core {
 
 /// Ring capacity per shard of the server's [`TraceRing`].
 const TRACE_RING_CAPACITY: usize = 256;
+
+/// Span capacity per lane of the server's [`SpanRecorder`] — sized so a
+/// replay-scale run keeps every span of its final divergence window.
+const SPAN_LANE_CAPACITY: usize = 1024;
 
 /// The live safe-region service. Build with [`Server::start`], talk to it
 /// through a [`crate::transport::Transport`].
@@ -346,6 +359,14 @@ impl Server {
 
         let registry = Arc::new(Registry::new());
         let metrics = ServerMetrics::new(&registry);
+        // Trace rings and spans timestamp on the *server clock's* axis:
+        // under a VirtualClock two identical schedules produce
+        // byte-identical ring dumps (the old Instant-based axis leaked
+        // wall time into them).
+        let time = {
+            let clock = Arc::clone(&clock);
+            TimeSource::new(move || clock.now_ns() / 1_000)
+        };
         let cell_updates = (0..grid.cell_count())
             .map(|idx| {
                 let label = idx.to_string();
@@ -368,7 +389,13 @@ impl Server {
             metrics,
             // One extra pseudo-shard ring for router-side events
             // (overloads, session open/close).
-            tracer: TraceRing::new(config.num_shards + 1, TRACE_RING_CAPACITY),
+            tracer: TraceRing::with_time_source(
+                config.num_shards + 1,
+                TRACE_RING_CAPACITY,
+                time.clone(),
+            ),
+            spans: SpanRecorder::new(config.num_shards + 1, SPAN_LANE_CAPACITY, time),
+            rtt_exemplars: Exemplars::new(),
             registry,
             next_session: AtomicU32::new(1),
             clock,
@@ -377,15 +404,17 @@ impl Server {
 
         let worker_core = Arc::clone(&core);
         let handler = Arc::new(move |shard: usize, job: Job| {
-            let Job { payload, reply, .. } = job;
+            let Job { payload, reply, enqueued_at_ns } = job;
             match payload {
                 JobPayload::Single { session, req } => {
+                    worker_core.shard_wait_span(shard, session, req.seq(), enqueued_at_ns);
                     let responses = worker_core.process(shard, session, &req);
                     let _ = reply.send(vec![(0, responses)]);
                 }
                 JobPayload::Batch(updates) => {
                     let mut out = Vec::with_capacity(updates.len());
                     for u in updates {
+                        worker_core.shard_wait_span(shard, u.session, u.req.seq(), enqueued_at_ns);
                         let responses = worker_core.process(shard, u.session, &u.req);
                         out.push((u.index, responses));
                     }
@@ -430,6 +459,7 @@ impl Server {
             ranges.windows(2).all(|w| w[0].start <= w[1].start),
             "partition ranges must be sorted by start key"
         );
+        self.core.spans.set_member(self_id);
         *self.core.fed.write() = Some(FedState { self_id, epoch, ranges });
     }
 
@@ -494,6 +524,27 @@ impl Server {
         self.core.tracer.dump()
     }
 
+    /// Switches causal-span recording between [`TraceMode::Off`],
+    /// sampled, and full. The trace ring is unaffected; already-buffered
+    /// spans stay.
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.core.spans.set_mode(mode);
+    }
+
+    /// Every causal span this server retains, start-time ordered —
+    /// one member's contribution to the federation-wide trace assembly.
+    pub fn spans(&self) -> Vec<Span> {
+        self.core.spans.spans()
+    }
+
+    /// Per-bucket trace exemplars of the `sa_update_rtt_ns` histogram:
+    /// pass a snapshot quantile to
+    /// [`Exemplars::for_value`] and get the trace id of a request that
+    /// actually landed in that latency bucket.
+    pub fn rtt_exemplars(&self) -> &Exemplars {
+        &self.core.rtt_exemplars
+    }
+
     /// Pre-resolved metric handles, for the transports' wire timers.
     pub(crate) fn metrics(&self) -> &ServerMetrics {
         &self.core.metrics
@@ -534,27 +585,35 @@ impl Server {
             Request::Stats { seq } => {
                 vec![Response::Stats { seq, text: self.prometheus() }]
             }
-            Request::Topology { seq } => {
+            Request::Topology { seq, .. } => {
                 let (epoch, ranges) = self.topology();
                 vec![Response::Topology { seq, epoch, ranges }]
             }
-            Request::HandoffExport { seq, session: target } => {
-                self.core.export_session(seq, target)
+            Request::HandoffExport { seq, session: target, trace } => {
+                self.core.export_session(seq, target, trace)
             }
-            Request::HandoffImport { seq, session: target, state } => {
-                self.core.import_session(seq, target, state)
+            Request::HandoffImport { seq, session: target, state, trace } => {
+                self.core.import_session(seq, target, state, trace)
             }
-            Request::HandoffRelease { seq, session: target } => {
+            Request::HandoffRelease { seq, session: target, trace } => {
                 // Idempotent by design: releasing an absent session (a
                 // retried handoff's second release) still acks. The
                 // subscriber's fired entries stay — they can only
                 // suppress an already-fired alarm, never add a firing.
+                let started_ns = self.core.clock.now_ns();
                 self.core.sessions.remove(target);
                 self.core.tracer.event(self.core.num_shards, "handoff_release", target as u64, 0);
+                self.core.control_span(
+                    SpanKind::HandoffRelease,
+                    trace,
+                    started_ns,
+                    u64::from(target),
+                    0,
+                );
                 vec![Response::Ack { seq }]
             }
-            Request::InstallTopology { seq, epoch, ranges } => {
-                self.core.install_topology(seq, epoch, ranges)
+            Request::InstallTopology { seq, epoch, ranges, trace } => {
+                self.core.install_topology(seq, epoch, ranges, trace)
             }
             req @ (Request::LocationUpdate { .. } | Request::Resync { .. }) => {
                 let (x_fx, y_fx) =
@@ -610,10 +669,13 @@ impl Server {
                     .unwrap_or_else(|| {
                         vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
                     });
+                let elapsed = self.core.clock.elapsed_since(entered_ns);
+                self.core.metrics.update_rtt.record_duration(elapsed);
+                let trace = trace_id_for(session, seq);
                 self.core
-                    .metrics
-                    .update_rtt
-                    .record_duration(self.core.clock.elapsed_since(entered_ns));
+                    .rtt_exemplars
+                    .observe(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX), trace);
+                self.core.record_dispatch(shard as u32, trace, entered_ns, session, seq);
                 out
             }
             Request::Batch { seq, updates } => self.handle_batch(seq, updates),
@@ -629,6 +691,9 @@ impl Server {
     /// at entry, and threaded through every job.
     fn handle_batch(&self, seq: u32, updates: Vec<BatchedUpdate>) -> Vec<Response> {
         let entered_ns = self.core.clock.now_ns();
+        // Per-update sequence numbers, kept so the reply loop can derive
+        // each update's trace id after `updates` is consumed.
+        let seqs: Vec<u32> = updates.iter().map(|u| u.seq).collect();
         let mut replies: Vec<BatchReply> = updates
             .iter()
             .map(|u| BatchReply { session: u.session, responses: Vec::new() })
@@ -719,10 +784,20 @@ impl Server {
             for (index, responses) in groups {
                 // Each batched update's round trip is the batch's: entry
                 // to its worker reply.
+                let elapsed = self.core.clock.elapsed_since(entered_ns);
+                self.core.metrics.update_rtt.record_duration(elapsed);
+                let session = replies[index as usize].session;
+                let trace = trace_id_for(session, seqs[index as usize]);
                 self.core
-                    .metrics
-                    .update_rtt
-                    .record_duration(self.core.clock.elapsed_since(entered_ns));
+                    .rtt_exemplars
+                    .observe(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX), trace);
+                self.core.record_dispatch(
+                    self.core.num_shards as u32,
+                    trace,
+                    entered_ns,
+                    session,
+                    seqs[index as usize],
+                );
                 replies[index as usize].responses = responses;
             }
         }
@@ -834,6 +909,99 @@ impl Core {
         self.sessions.contains(session)
     }
 
+    /// Records the member's dispatch span for one routed update. Its id
+    /// and its parent (the client-side root) are *derived* from the
+    /// trace id, so worker-side children on this member and the root on
+    /// the client join up in assembly with no wire bytes spent.
+    fn record_dispatch(&self, shard: u32, trace: u64, entered_ns: u64, session: u32, seq: u32) {
+        if !self.spans.enabled(trace) {
+            return;
+        }
+        let member = self.spans.member();
+        self.spans.record(
+            self.num_shards,
+            Span {
+                ctx: TraceCtx {
+                    trace_id: trace,
+                    span_id: dispatch_span(trace, member),
+                    parent: client_root_span(trace),
+                },
+                kind: SpanKind::UpdateDispatch,
+                start_us: entered_ns / 1_000,
+                dur_us: self.clock.elapsed_since(entered_ns).as_micros() as u64,
+                member,
+                shard,
+                a: u64::from(session),
+                b: u64::from(seq),
+            },
+        );
+    }
+
+    /// Records a worker-side span as a child of the update's dispatch
+    /// span, `started_ns` to now.
+    fn worker_span(&self, shard: usize, trace: u64, kind: SpanKind, started_ns: u64, a: u64, b: u64) {
+        if !self.spans.enabled(trace) {
+            return;
+        }
+        let member = self.spans.member();
+        self.spans.record(
+            shard,
+            Span {
+                ctx: TraceCtx {
+                    trace_id: trace,
+                    span_id: self.spans.fresh_span_id(),
+                    parent: dispatch_span(trace, member),
+                },
+                kind,
+                start_us: started_ns / 1_000,
+                dur_us: self.clock.elapsed_since(started_ns).as_micros() as u64,
+                member,
+                shard: shard as u32,
+                a,
+                b,
+            },
+        );
+    }
+
+    /// The shard-queue wait of one update: submit (`enqueued_at_ns`) to
+    /// worker pickup (now).
+    fn shard_wait_span(&self, shard: usize, session: u32, seq: u32, enqueued_at_ns: u64) {
+        let trace = trace_id_for(session, seq);
+        self.worker_span(
+            shard,
+            trace,
+            SpanKind::ShardWait,
+            enqueued_at_ns,
+            u64::from(session),
+            u64::from(seq),
+        );
+    }
+
+    /// Records a federation control-plane span under the wire-carried
+    /// context. A zero trace id (an untraced peer) records nothing.
+    fn control_span(&self, kind: SpanKind, trace: TraceCtxExt, started_ns: u64, a: u64, b: u64) {
+        if trace.trace_id == 0 || !self.spans.enabled(trace.trace_id) {
+            return;
+        }
+        self.spans.record(
+            self.num_shards,
+            Span {
+                ctx: TraceCtx {
+                    trace_id: trace.trace_id,
+                    span_id: self.spans.fresh_span_id(),
+                    parent: trace.parent_span,
+                },
+                kind,
+                start_us: started_ns / 1_000,
+                dur_us: self.clock.elapsed_since(started_ns).as_micros() as u64,
+                member: self.spans.member(),
+                shard: self.num_shards as u32,
+                a,
+                b,
+            },
+        );
+    }
+
     /// When federation is enabled and `cell` belongs to another member,
     /// the `WrongOwner` bounce for it; `None` means "process locally"
     /// (standalone server, locally owned cell, or a map gap — the last
@@ -854,7 +1022,8 @@ impl Core {
     /// The first leg of a handoff: a read-only snapshot of the named
     /// session plus the subscriber's fired alarms, sorted so the blob's
     /// encoding is deterministic.
-    fn export_session(&self, seq: u32, target: u32) -> Vec<Response> {
+    fn export_session(&self, seq: u32, target: u32, trace: TraceCtxExt) -> Vec<Response> {
+        let started_ns = self.clock.now_ns();
         let Some((user, strategy, last_cell, delivery_log)) = self.sessions.snapshot(target)
         else {
             // A retried handoff whose release already happened lands
@@ -865,6 +1034,13 @@ impl Core {
         fired.sort_unstable();
         self.metrics.handoff_exports.inc();
         self.tracer.event(self.num_shards, "handoff_export", target as u64, user.0 as u64);
+        self.control_span(
+            SpanKind::HandoffExport,
+            trace,
+            started_ns,
+            u64::from(target),
+            u64::from(user.0),
+        );
         let state = SessionState {
             user: user.0,
             strategy,
@@ -878,7 +1054,14 @@ impl Core {
     /// The second leg of a handoff: installs the blob at `target`,
     /// overwriting any stale copy, and unions the fired alarms into the
     /// fired set — both idempotent, so a retried import is harmless.
-    fn import_session(&self, seq: u32, target: u32, state: SessionState) -> Vec<Response> {
+    fn import_session(
+        &self,
+        seq: u32,
+        target: u32,
+        state: SessionState,
+        trace: TraceCtxExt,
+    ) -> Vec<Response> {
+        let started_ns = self.clock.now_ns();
         let last_cell = match state.last_cell {
             Some(w) if u64::from(w) >= self.grid.cell_count() => {
                 return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
@@ -904,15 +1087,30 @@ impl Core {
         );
         self.metrics.handoff_imports.inc();
         self.tracer.event(self.num_shards, "handoff_import", target as u64, user.0 as u64);
+        self.control_span(
+            SpanKind::HandoffImport,
+            trace,
+            started_ns,
+            u64::from(target),
+            u64::from(user.0),
+        );
         vec![Response::Ack { seq }]
     }
 
     /// The coordinator's topology push: replace the map when the pushed
     /// epoch is newer; acknowledge (idempotently) when it is not.
-    fn install_topology(&self, seq: u32, epoch: u64, ranges: Vec<CellRange>) -> Vec<Response> {
+    fn install_topology(
+        &self,
+        seq: u32,
+        epoch: u64,
+        ranges: Vec<CellRange>,
+        trace: TraceCtxExt,
+    ) -> Vec<Response> {
         if ranges.is_empty() || ranges.windows(2).any(|w| w[0].start > w[1].start) {
             return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
         }
+        let started_ns = self.clock.now_ns();
+        let num_ranges = ranges.len() as u64;
         let mut fed = self.fed.write();
         match fed.as_mut() {
             // Only federation members enforce ownership; a standalone
@@ -924,6 +1122,13 @@ impl Core {
                     state.epoch = epoch;
                     state.ranges = ranges;
                     self.tracer.event(self.num_shards, "topology", epoch, 0);
+                    self.control_span(
+                        SpanKind::TopologyInstall,
+                        trace,
+                        started_ns,
+                        epoch,
+                        num_ranges,
+                    );
                 }
                 vec![Response::Ack { seq }]
             }
@@ -994,6 +1199,7 @@ impl Core {
             None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
         };
         self.metrics.location_updates.inc();
+        let trace = trace_id_for(session, seq);
 
         let pos = self.clamped_position(x_fx, y_fx);
         let (heading, _speed) = unpack_motion(motion);
@@ -1010,6 +1216,7 @@ impl Core {
             // so the terminal response reinstalls a full region.
             self.metrics.resyncs.inc();
             self.tracer.event(shard, "resync", session as u64, acked as u64);
+            let redeliver_started_ns = self.clock.now_ns();
             let redeliver = self.sessions.with_mut(session, |s| {
                 s.last_cell = None;
                 s.delivery_log.get(acked as usize..).unwrap_or(&[]).to_vec()
@@ -1018,6 +1225,17 @@ impl Core {
                 self.metrics.redeliveries.inc();
                 out.push(Response::TriggerDelivery { seq, alarm });
             }
+            // Recorded even when nothing was pending: the redelivery
+            // leg ran, and a post-handoff resync delivering 0 is as
+            // causally interesting as one delivering 5 (b = count).
+            self.worker_span(
+                shard,
+                trace,
+                SpanKind::Redelivery,
+                redeliver_started_ns,
+                session as u64,
+                out.len() as u64,
+            );
         }
 
         // Server-side trigger check against the shard-local index; the
@@ -1060,6 +1278,14 @@ impl Core {
                 self.metrics
                     .compute_hist(strategy)
                     .record_duration(self.clock.elapsed_since(started_ns));
+                self.worker_span(
+                    shard,
+                    trace,
+                    SpanKind::RegionCompute,
+                    started_ns,
+                    session as u64,
+                    cell_word as u64,
+                );
                 out.push(Response::RectInstall {
                     seq,
                     cell: cell_word,
@@ -1075,10 +1301,18 @@ impl Core {
                     out.push(Response::Ack { seq });
                 } else {
                     let started_ns = self.clock.now_ns();
-                    let region = self.pbsr_region(shard, user, cell, cell_rect, height);
+                    let region = self.pbsr_region(shard, user, cell, cell_rect, height, trace);
                     self.metrics
                         .compute_hist(strategy)
                         .record_duration(self.clock.elapsed_since(started_ns));
+                    self.worker_span(
+                        shard,
+                        trace,
+                        SpanKind::RegionCompute,
+                        started_ns,
+                        session as u64,
+                        cell_word as u64,
+                    );
                     out.push(Response::BitmapInstall {
                         seq,
                         cell: cell_word,
@@ -1103,6 +1337,14 @@ impl Core {
                 self.metrics
                     .compute_hist(strategy)
                     .record_duration(self.clock.elapsed_since(started_ns));
+                self.worker_span(
+                    shard,
+                    trace,
+                    SpanKind::RegionCompute,
+                    started_ns,
+                    session as u64,
+                    cell_word as u64,
+                );
                 out.push(Response::AlarmPush { seq, cell: cell_word, alarms });
             }
             StrategySpec::SafePeriod => {
@@ -1119,6 +1361,14 @@ impl Core {
                 self.metrics
                     .compute_hist(strategy)
                     .record_duration(self.clock.elapsed_since(started_ns));
+                self.worker_span(
+                    shard,
+                    trace,
+                    SpanKind::RegionCompute,
+                    started_ns,
+                    session as u64,
+                    cell_word as u64,
+                );
                 // Flooring to milliseconds only shortens the silence —
                 // the safe direction.
                 let period_ms = ((period_s * 1_000.0).floor() as u64).min(SEQ_MASK as u64) as u32;
@@ -1139,6 +1389,7 @@ impl Core {
         cell: CellId,
         cell_rect: Rect,
         height: u32,
+        trace: u64,
     ) -> sa_core::BitmapSafeRegion {
         let views = self.shard_indexes[shard].read().relevant_intersecting(user, cell_rect);
         let fired = self.fired_for(user);
@@ -1159,6 +1410,14 @@ impl Core {
             self.metrics
                 .cache_lookup
                 .record_duration(self.clock.elapsed_since(lookup_started_ns));
+            self.worker_span(
+                shard,
+                trace,
+                SpanKind::CacheLookup,
+                lookup_started_ns,
+                cell_index,
+                u64::from(cached.is_some()),
+            );
             if let Some(region) = cached {
                 return region;
             }

@@ -173,6 +173,25 @@ pub struct CellRange {
     pub owner: u32,
 }
 
+/// The explicit trace-context extension the federation *control plane*
+/// carries: 16 bytes naming the trace and the parent span the exchange
+/// causally belongs to.
+///
+/// Only [`Request::Topology`], the handoff trio and
+/// [`Request::InstallTopology`] carry this — control exchanges sit
+/// outside the paper's bandwidth model, so they may grow. Data-plane
+/// frames stay byte-identical; their context is *derived* from
+/// `(session, seq)` instead (see `sa_obs::trace_id_for`). The all-zero
+/// default means "untraced" and is what non-instrumented callers send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtxExt {
+    /// The trace this exchange belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// The sender-side span the receiver should parent its span under
+    /// (0 = untraced or rootless).
+    pub parent_span: u64,
+}
+
 /// The migratable state of one session, carried by
 /// [`Request::HandoffImport`] and [`Response::SessionState`] when a
 /// session moves between federation servers.
@@ -326,6 +345,9 @@ pub enum Request {
     Topology {
         /// Request sequence number (28 bits).
         seq: u32,
+        /// Causal context of the refresh (control-plane only, outside
+        /// the paper's cost model).
+        trace: TraceCtxExt,
     },
     /// Asks the server to export the migratable state of `session` (the
     /// first leg of a handoff). Answered inline with a
@@ -338,6 +360,8 @@ pub enum Request {
         /// The session to export (the mesh connection's own session is
         /// irrelevant — handoff names its target explicitly).
         session: u32,
+        /// Causal context of the migration this leg belongs to.
+        trace: TraceCtxExt,
     },
     /// Installs exported session state at `session` on the new owner
     /// (the second leg of a handoff). Overwrites any existing state at
@@ -349,6 +373,8 @@ pub enum Request {
         seq: u32,
         /// The session id to install the state at.
         session: u32,
+        /// Causal context of the migration this leg belongs to.
+        trace: TraceCtxExt,
         /// The migrated state.
         state: SessionState,
     },
@@ -363,6 +389,8 @@ pub enum Request {
         seq: u32,
         /// The session to release.
         session: u32,
+        /// Causal context of the migration this leg belongs to.
+        trace: TraceCtxExt,
     },
     /// The repartitioning coordinator's topology push: installs the
     /// epoch-versioned partition map on a federation member. Applied
@@ -375,6 +403,8 @@ pub enum Request {
         seq: u32,
         /// Version of the pushed map.
         epoch: u64,
+        /// Causal context of the coordinator's push.
+        trace: TraceCtxExt,
         /// The pushed ownership ranges, sorted by start key, covering
         /// the whole key space.
         ranges: Vec<CellRange>,
@@ -590,6 +620,15 @@ fn put_u64(buf: &mut BytesMut, v: u64) {
     buf.put_u32(v as u32);
 }
 
+fn put_trace(buf: &mut BytesMut, trace: &TraceCtxExt) {
+    put_u64(buf, trace.trace_id);
+    put_u64(buf, trace.parent_span);
+}
+
+fn get_trace(buf: &mut &[u8]) -> Result<TraceCtxExt, WireError> {
+    Ok(TraceCtxExt { trace_id: get_u64(buf)?, parent_span: get_u64(buf)? })
+}
+
 fn put_ranges(buf: &mut BytesMut, ranges: &[CellRange]) {
     buf.put_u32(ranges.len() as u32);
     for r in ranges {
@@ -715,23 +754,30 @@ impl Request {
                     buf.put_u32(u.motion);
                 }
             }
-            Request::Topology { seq } => buf.put_u32(head(T_TOPOLOGY_REQ, *seq)),
-            Request::HandoffExport { seq, session } => {
+            Request::Topology { seq, trace } => {
+                buf.put_u32(head(T_TOPOLOGY_REQ, *seq));
+                put_trace(&mut buf, trace);
+            }
+            Request::HandoffExport { seq, session, trace } => {
                 buf.put_u32(head(T_EXPORT, *seq));
                 buf.put_u32(*session);
+                put_trace(&mut buf, trace);
             }
-            Request::HandoffImport { seq, session, state } => {
+            Request::HandoffImport { seq, session, trace, state } => {
                 buf.put_u32(head(T_IMPORT, *seq));
                 buf.put_u32(*session);
+                put_trace(&mut buf, trace);
                 put_session_state(&mut buf, state);
             }
-            Request::HandoffRelease { seq, session } => {
+            Request::HandoffRelease { seq, session, trace } => {
                 buf.put_u32(head(T_RELEASE, *seq));
                 buf.put_u32(*session);
+                put_trace(&mut buf, trace);
             }
-            Request::InstallTopology { seq, epoch, ranges } => {
+            Request::InstallTopology { seq, epoch, trace, ranges } => {
                 buf.put_u32(head(T_SET_TOPOLOGY, *seq));
                 put_u64(&mut buf, *epoch);
+                put_trace(&mut buf, trace);
                 put_ranges(&mut buf, ranges);
             }
         }
@@ -751,10 +797,10 @@ impl Request {
             Request::Stats { .. } => 4,
             Request::Resync { .. } => 20,
             Request::Batch { updates, .. } => 8 + 20 * updates.len(),
-            Request::Topology { .. } => 4,
-            Request::HandoffExport { .. } | Request::HandoffRelease { .. } => 8,
-            Request::HandoffImport { state, .. } => 8 + state.encoded_len(),
-            Request::InstallTopology { ranges, .. } => 16 + 20 * ranges.len(),
+            Request::Topology { .. } => 20,
+            Request::HandoffExport { .. } | Request::HandoffRelease { .. } => 24,
+            Request::HandoffImport { state, .. } => 24 + state.encoded_len(),
+            Request::InstallTopology { ranges, .. } => 32 + 20 * ranges.len(),
         }
     }
 
@@ -788,7 +834,7 @@ impl Request {
             | Request::Stats { seq }
             | Request::Resync { seq, .. }
             | Request::Batch { seq, .. }
-            | Request::Topology { seq }
+            | Request::Topology { seq, .. }
             | Request::HandoffExport { seq, .. }
             | Request::HandoffImport { seq, .. }
             | Request::HandoffRelease { seq, .. }
@@ -867,17 +913,27 @@ impl Request {
                 }
                 Request::Batch { seq, updates }
             }
-            T_TOPOLOGY_REQ => Request::Topology { seq },
-            T_EXPORT => Request::HandoffExport { seq, session: get_u32(&mut body)? },
+            T_TOPOLOGY_REQ => Request::Topology { seq, trace: get_trace(&mut body)? },
+            T_EXPORT => Request::HandoffExport {
+                seq,
+                session: get_u32(&mut body)?,
+                trace: get_trace(&mut body)?,
+            },
             T_IMPORT => Request::HandoffImport {
                 seq,
                 session: get_u32(&mut body)?,
+                trace: get_trace(&mut body)?,
                 state: get_session_state(&mut body)?,
             },
-            T_RELEASE => Request::HandoffRelease { seq, session: get_u32(&mut body)? },
+            T_RELEASE => Request::HandoffRelease {
+                seq,
+                session: get_u32(&mut body)?,
+                trace: get_trace(&mut body)?,
+            },
             T_SET_TOPOLOGY => Request::InstallTopology {
                 seq,
                 epoch: get_u64(&mut body)?,
+                trace: get_trace(&mut body)?,
                 ranges: get_ranges(&mut body)?,
             },
             other => return Err(WireError::UnknownType(other)),
@@ -1447,17 +1503,21 @@ mod tests {
 
     #[test]
     fn federation_control_messages_round_trip() {
-        round_trip_request(Request::Topology { seq: 21 });
-        round_trip_request(Request::HandoffExport { seq: 22, session: 7 });
-        round_trip_request(Request::HandoffRelease { seq: 23, session: 7 });
+        let trace = TraceCtxExt { trace_id: 0xAAAA_BBBB_CCCC_DDDD, parent_span: 0x1234 };
+        round_trip_request(Request::Topology { seq: 21, trace });
+        round_trip_request(Request::Topology { seq: 21, trace: TraceCtxExt::default() });
+        round_trip_request(Request::HandoffExport { seq: 22, session: 7, trace });
+        round_trip_request(Request::HandoffRelease { seq: 23, session: 7, trace });
         round_trip_request(Request::HandoffImport {
             seq: 24,
             session: 7,
+            trace,
             state: sample_session_state(),
         });
         round_trip_request(Request::HandoffImport {
             seq: 25,
             session: 8,
+            trace: TraceCtxExt::default(),
             state: SessionState {
                 user: 1,
                 strategy: StrategySpec::Mwpsr,
@@ -1470,11 +1530,32 @@ mod tests {
             CellRange { start: 0, end: 1 << 33, owner: 0 },
             CellRange { start: 1 << 33, end: u64::MAX, owner: 1 },
         ];
-        round_trip_request(Request::InstallTopology { seq: 26, epoch: 3, ranges: ranges.clone() });
+        round_trip_request(Request::InstallTopology {
+            seq: 26,
+            epoch: 3,
+            trace,
+            ranges: ranges.clone(),
+        });
         round_trip_response(Response::Topology { seq: 26, epoch: 3, ranges });
         round_trip_response(Response::Topology { seq: 0, epoch: 0, ranges: Vec::new() });
         round_trip_response(Response::WrongOwner { seq: 27, owner: 2, epoch: 5 });
         round_trip_response(Response::SessionState { seq: 28, state: sample_session_state() });
+    }
+
+    #[test]
+    fn trace_context_rides_before_the_exact_length_tails() {
+        // The 16 trace bytes sit between the fixed head words and the
+        // self-describing tails, so the exact-tail length checks still
+        // hold: a truncated context is Truncated, never a silent shift
+        // of the tail.
+        let req = Request::Topology { seq: 1, trace: TraceCtxExt::default() };
+        assert_eq!(req.encoded_len(), 20, "head + 16 trace bytes");
+        let body = req.encode();
+        assert!(matches!(Request::decode(&body[..12]), Err(WireError::Truncated)));
+        let exp =
+            Request::HandoffExport { seq: 2, session: 3, trace: TraceCtxExt::default() };
+        assert_eq!(exp.encoded_len(), 24, "head + session + 16 trace bytes");
+        assert!(matches!(Request::decode(&exp.encode()[..16]), Err(WireError::Truncated)));
     }
 
     #[test]
@@ -1483,6 +1564,7 @@ mod tests {
         let mut body = Request::HandoffImport {
             seq: 1,
             session: 2,
+            trace: TraceCtxExt::default(),
             state: sample_session_state(),
         }
         .encode()
@@ -1493,6 +1575,7 @@ mod tests {
         let mut push = Request::InstallTopology {
             seq: 1,
             epoch: 1,
+            trace: TraceCtxExt::default(),
             ranges: vec![CellRange { start: 0, end: u64::MAX, owner: 0 }],
         }
         .encode()

@@ -3,7 +3,7 @@
 //! exactly the simulator's ground-truth alarm sequence.
 
 use sa_server::wire::StrategySpec;
-use sa_server::{replay_tcp, ReplayConfig, ServerConfig};
+use sa_server::{replay_tcp, ReplayConfig, ServerConfig, TraceMode};
 use sa_sim::{SimulationConfig, SimulationHarness};
 
 #[test]
@@ -12,6 +12,7 @@ fn tcp_loopback_replay_fires_exactly_the_ground_truth_sequence() {
     let cfg = ReplayConfig {
         steps: None, // the full trace
         server: ServerConfig { num_shards: 3, queue_capacity: 32 },
+        trace_mode: TraceMode::Full,
         strategies: vec![
             StrategySpec::Mwpsr,
             StrategySpec::Pbsr { height: 5 },
@@ -51,6 +52,7 @@ fn tcp_replay_works_at_minimum_queue_capacity() {
     let cfg = ReplayConfig {
         steps: Some(120),
         server: ServerConfig { num_shards: 1, queue_capacity: 1 },
+        trace_mode: TraceMode::Full,
         strategies: vec![StrategySpec::Mwpsr, StrategySpec::Pbsr { height: 3 }],
     };
     let outcome = replay_tcp(&harness, &cfg).expect("loopback transport must hold");

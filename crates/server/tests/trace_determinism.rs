@@ -1,0 +1,72 @@
+//! Trace-axis determinism regression.
+//!
+//! The trace ring and span recorder read time through the server's
+//! [`Clock`] seam (an earlier revision stamped ring events from
+//! `Instant::now()`, which leaked wall time into dumps and broke
+//! byte-level replay comparison). Two servers driven through an
+//! identical schedule on identically advanced virtual clocks must
+//! produce **byte-identical** trace-ring dumps and identical span
+//! records.
+
+use sa_alarms::{AlarmId, AlarmScope, SpatialAlarm, SubscriberId};
+use sa_geometry::{Grid, Point, Rect};
+use sa_obs::Span;
+use sa_server::{
+    Client, InProcTransport, Server, ServerConfig, SharedClock, StrategySpec, VirtualClock,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_once() -> (String, Vec<Span>) {
+    let universe = Rect::new(0.0, 0.0, 4_000.0, 4_000.0).unwrap();
+    let grid = Grid::new(universe, 1_000.0).unwrap();
+    let vclock = Arc::new(VirtualClock::new());
+    let clock: SharedClock = vclock.clone();
+    // Alarms along the walk's diagonal so triggers (and their ring
+    // events) fire at fixed steps.
+    let alarms: Vec<SpatialAlarm> = (0..4)
+        .map(|i| {
+            SpatialAlarm::around_static_target(
+                AlarmId(i),
+                Point::new(500.0 + 900.0 * i as f64, 500.0 + 900.0 * i as f64),
+                150.0,
+                AlarmScope::Public { owner: SubscriberId(1) },
+            )
+            .unwrap()
+        })
+        .collect();
+    let server = Server::start_with_clock(
+        grid.clone(),
+        alarms,
+        30.0,
+        ServerConfig { num_shards: 2, queue_capacity: 8 },
+        Arc::clone(&clock),
+    );
+    let transport = InProcTransport::connect(Arc::clone(&server));
+    let mut client =
+        Client::connect(transport, SubscriberId(7), StrategySpec::Mwpsr, grid, 1.0).unwrap();
+    client.set_clock(Arc::clone(&clock));
+
+    // A fixed diagonal walk; every step advances the virtual clock by
+    // the same amount, so both runs see the same timestamps.
+    for step in 0..16u32 {
+        vclock.advance(Duration::from_secs(1));
+        let d = f64::from(step) * 220.0;
+        client.observe(step, Point::new(100.0 + d, 100.0 + d), 0.785, 12.0).unwrap();
+    }
+
+    let dump = server.trace_dump();
+    let spans = server.spans();
+    server.shutdown();
+    (dump, spans)
+}
+
+#[test]
+fn identical_virtual_schedules_dump_byte_identical_traces() {
+    let (dump_a, spans_a) = run_once();
+    let (dump_b, spans_b) = run_once();
+    assert!(!dump_a.is_empty(), "the walk must have left ring events");
+    assert_eq!(dump_a, dump_b, "trace-ring dumps must be byte-identical across runs");
+    assert!(!spans_a.is_empty(), "the walk must have recorded spans");
+    assert_eq!(spans_a, spans_b, "span records must be identical across runs");
+}

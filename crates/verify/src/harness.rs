@@ -22,6 +22,7 @@ use crate::oracle::check_transcript;
 use crate::transcript::{RecordingTransport, SharedTranscript, Transcript, DRIVER_TAG};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sa_alarms::SubscriberId;
+use sa_obs::FlightBundle;
 use sa_roadnet::Fleet;
 use sa_server::wire::SEQ_MASK;
 use sa_server::{
@@ -357,12 +358,13 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, TransportError> {
         .cloned()
         .collect();
     let verification = GroundTruth::new(expected).verify(&fired).map_err(|e| {
-        let dump = server.trace_dump();
-        if dump.is_empty() {
-            e
-        } else {
-            format!("{e}\nserver trace ring:\n{dump}")
-        }
+        // The flight recorder: the failure message is the forensic
+        // record — span trees, trace ring, registry snapshot.
+        let mut bundle = FlightBundle::new(e);
+        bundle.spans = server.spans();
+        bundle.rings.push(("server".to_string(), server.trace_dump()));
+        bundle.snapshots.push(("server".to_string(), server.registry().snapshot()));
+        bundle.render()
     });
     let injected_total: u64 = counts.iter().map(|c| c.total()).sum();
     server.shutdown();

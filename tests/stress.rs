@@ -4,7 +4,7 @@
 //! `cargo test --release --test stress -- --ignored` (a few minutes).
 
 use spatial_alarms::server::wire::StrategySpec;
-use spatial_alarms::server::{replay_batched_in_proc, ReplayConfig, ServerConfig};
+use spatial_alarms::server::{replay_batched_in_proc, ReplayConfig, ServerConfig, TraceMode};
 use spatial_alarms::sim::{SimulationConfig, SimulationHarness, StrategyKind};
 
 /// A tenth of the paper's workload (1,000 vehicles × 1,000 alarms) for
@@ -21,6 +21,7 @@ fn tenth_scale_full_hour_batched_accuracy() {
     let cfg = ReplayConfig {
         steps: None,
         server: ServerConfig::default(),
+        trace_mode: TraceMode::Full,
         strategies: vec![
             StrategySpec::Mwpsr,
             StrategySpec::Pbsr { height: 5 },
