@@ -124,6 +124,25 @@ impl AlarmIndex {
         (filtered, stats)
     }
 
+    /// Visits each alarm relevant to `user` whose region contains `pos`
+    /// without materializing a result vector — the allocation-free
+    /// counterpart of [`AlarmIndex::relevant_at`] the server's per-update
+    /// trigger check runs on. No [`QueryStats`] are reported; callers that
+    /// charge index work to the load model use `relevant_at` instead.
+    pub fn relevant_at_visit(
+        &self,
+        user: SubscriberId,
+        pos: Point,
+        mut f: impl FnMut(&SpatialAlarm),
+    ) {
+        self.tree.visit_point(pos, |id| {
+            let a = self.alarm(*id);
+            if a.is_relevant_to(user) {
+                f(a);
+            }
+        });
+    }
+
     /// Alarms relevant to `user` whose regions intersect `area` — the set
     /// considered for safe-region computation inside a grid cell.
     pub fn relevant_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<&SpatialAlarm> {

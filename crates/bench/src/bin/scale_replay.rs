@@ -71,7 +71,10 @@ fn parse_args() -> Opts {
             other => panic!("unknown flag {other}"),
         }
     }
-    assert!(opts.scale > 0.0 && opts.scale <= 1.0, "--scale must be in (0, 1]");
+    assert!(
+        opts.scale.is_finite() && opts.scale > 0.0,
+        "--scale must be positive and finite (values above 1 grow past paper scale)"
+    );
     assert!(opts.workers > 0, "--workers must be positive");
     opts
 }

@@ -184,6 +184,68 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     out
 }
 
+/// A fitted power law `y = coefficient · x^exponent`, from a log-log
+/// least-squares regression. Produced by [`fit_power_law`]; consumed by
+/// the `scaling_curve` bench, whose CI gate fails when the fitted
+/// throughput `exponent` regresses below tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The slope in log-log space: 0 = flat (perfect scaling of
+    /// per-core throughput), negative = throughput decays with scale.
+    pub exponent: f64,
+    /// The value of `y` the fit predicts at `x = 1`.
+    pub coefficient: f64,
+    /// Coefficient of determination of the log-log regression in
+    /// `[0, 1]`; 1 means the points sit exactly on a power law.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// The fitted prediction at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y = c · x^e` to `(x, y)` points by ordinary least squares on
+/// `(log10 x, log10 y)`. Pure and deterministic: the same points give
+/// bit-identical fits on every run (the determinism the `scaling_fit`
+/// regression test pins).
+///
+/// Returns `None` when fewer than two points remain after dropping
+/// non-finite or non-positive coordinates (logs would be undefined), or
+/// when all remaining `x` are equal (the slope is then unconstrained).
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| x.is_finite() && y.is_finite() && *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.log10(), y.log10()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let ss_xx: f64 = logs.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    let ss_xy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    if ss_xx == 0.0 {
+        return None;
+    }
+    let exponent = ss_xy / ss_xx;
+    let intercept = mean_y - exponent * mean_x;
+    let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|(x, y)| {
+            let r = y - (exponent * x + intercept);
+            r * r
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
+    Some(PowerLawFit { exponent, coefficient: 10f64.powf(intercept), r_squared })
+}
+
 /// Appends CSV rows (with a header when the file is new).
 pub fn append_csv(path: &std::path::Path, header: &str, rows: &[String]) -> std::io::Result<()> {
     use std::io::Write as _;
@@ -219,6 +281,39 @@ mod tests {
         assert_ne!(a.fleet.seed, b.fleet.seed);
         assert_eq!(a.fleet.vehicles, b.fleet.vehicles);
         assert_eq!(a.workload.alarms, b.workload.alarms);
+    }
+
+    #[test]
+    fn fit_recovers_an_exact_power_law() {
+        // y = 3 x^0.8 exactly: the fit must recover both parameters and
+        // report a perfect r².
+        let points: Vec<(f64, f64)> =
+            [0.5f64, 1.0, 2.0, 4.0, 8.0].iter().map(|&x| (x, 3.0 * x.powf(0.8))).collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.exponent - 0.8).abs() < 1e-9, "exponent {}", fit.exponent);
+        assert!((fit.coefficient - 3.0).abs() < 1e-9, "coefficient {}", fit.coefficient);
+        assert!(fit.r_squared > 1.0 - 1e-12);
+        assert!((fit.predict(16.0) - 3.0 * 16.0f64.powf(0.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_handles_noise_and_reports_imperfect_r_squared() {
+        let points = [(1.0, 10.0), (2.0, 5.3), (4.0, 2.4), (8.0, 1.3)];
+        let fit = fit_power_law(&points).unwrap();
+        // Roughly y = 10/x.
+        assert!((-1.1..=-0.9).contains(&fit.exponent), "exponent {}", fit.exponent);
+        assert!(fit.r_squared < 1.0 && fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(1.0, 2.0)]).is_none(), "one point");
+        assert!(fit_power_law(&[(1.0, 2.0), (1.0, 4.0)]).is_none(), "vertical line");
+        // Non-positive and non-finite points are dropped, not logged.
+        assert!(fit_power_law(&[(0.0, 2.0), (-1.0, 4.0), (2.0, f64::NAN)]).is_none());
+        let fit = fit_power_law(&[(0.0, 5.0), (1.0, 2.0), (2.0, 2.0), (4.0, 2.0)]).unwrap();
+        assert!(fit.exponent.abs() < 1e-12, "flat line fits exponent 0");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Pins the determinism of the `scaling_curve` exponent pipeline: when
+//! the per-run wall times come from a [`VirtualClock`] instead of a
+//! real one, the whole chain — clock reads → throughput points →
+//! [`fit_power_law`] — must produce **bit-identical** fits on every
+//! run. This is what lets `sa-verify`-style harnesses assert on fitted
+//! exponents without tolerances.
+
+use sa_bench::fit_power_law;
+use sa_server::{Clock, VirtualClock};
+use std::time::Duration;
+
+/// A miniature of the `scaling_curve` sweep: for each scale point,
+/// "run" a replay whose duration is a deterministic function of scale
+/// (modelling per-core throughput ∝ scale^-0.25), timed through the
+/// virtual clock, and fit the resulting points.
+fn fitted_exponent_bits(clock: &VirtualClock) -> (u64, u64, u64) {
+    let scales = [0.05f64, 0.1, 0.2, 0.4, 0.8];
+    let mut points = Vec::new();
+    for &scale in &scales {
+        let updates = (10_000.0 * scale) as u64;
+        // Per-update cost grows with scale^0.25 → throughput exponent -0.25.
+        let per_update_ns = (1_000.0 * scale.powf(0.25)) as u64;
+        let started = clock.now_ns();
+        clock.sleep(Duration::from_nanos(updates * per_update_ns));
+        let wall_s = (clock.now_ns() - started) as f64 / 1e9;
+        points.push((scale, updates as f64 / wall_s));
+    }
+    let fit = fit_power_law(&points).expect("five positive points must fit");
+    (
+        fit.exponent.to_bits(),
+        fit.coefficient.to_bits(),
+        fit.r_squared.to_bits(),
+    )
+}
+
+#[test]
+fn exponent_fit_is_bit_identical_under_virtual_clock() {
+    let first = fitted_exponent_bits(&VirtualClock::new());
+    for _ in 0..10 {
+        assert_eq!(
+            fitted_exponent_bits(&VirtualClock::new()),
+            first,
+            "the virtual-clock fit pipeline must be bit-deterministic"
+        );
+    }
+    // And the fit itself lands where the synthetic cost model says.
+    let exponent = f64::from_bits(first.0);
+    assert!(
+        (-0.27..=-0.23).contains(&exponent),
+        "synthetic scale^-0.25 throughput fitted {exponent}"
+    );
+}
+
+#[test]
+fn virtual_clock_wall_times_do_not_depend_on_real_time() {
+    // Interleave real-time delays between the two measurements; the
+    // virtual clock must not see them.
+    let clock = VirtualClock::new();
+    let a = fitted_exponent_bits(&clock);
+    std::thread::sleep(Duration::from_millis(20));
+    let b = fitted_exponent_bits(&clock);
+    assert_eq!(a, b);
+}

@@ -66,6 +66,230 @@ impl BitVec {
         Some((self.words[index / 64] >> (index % 64)) & 1 == 1)
     }
 
+    /// Overwrites the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(index < self.len, "set index {index} out of bounds {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if bit {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Empties the vector, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Appends the low `nbits` bits of `word` (LSB first) in one or two
+    /// word operations — the primitive every word-parallel append builds
+    /// on.
+    fn push_word(&mut self, word: u64, nbits: usize) {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return;
+        }
+        let word = if nbits == 64 { word } else { word & ((1u64 << nbits) - 1) };
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.push(word);
+        } else {
+            *self.words.last_mut().expect("offset > 0 implies a tail word") |= word << offset;
+            if nbits > 64 - offset {
+                self.words.push(word >> (64 - offset));
+            }
+        }
+        self.len += nbits;
+    }
+
+    /// Reads up to 64 bits starting at bit `start` into the low bits of a
+    /// word (LSB first).
+    fn read_word(&self, start: usize, nbits: usize) -> u64 {
+        debug_assert!(nbits <= 64 && start + nbits <= self.len);
+        if nbits == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let mut w = self.words[word] >> off;
+        if off != 0 && word + 1 < self.words.len() {
+            w |= self.words[word + 1] << (64 - off);
+        }
+        if nbits < 64 {
+            w &= (1u64 << nbits) - 1;
+        }
+        w
+    }
+
+    /// Appends `n` clear bits, 64 at a time — the bulk append used for the
+    /// all-zero child blocks under solid pyramid cells, replacing `n`
+    /// single-bit pushes with `n/64` word writes.
+    pub fn push_zeros(&mut self, mut n: usize) {
+        while n > 0 {
+            let take = n.min(64);
+            self.push_word(0, take);
+            n -= take;
+        }
+    }
+
+    /// Appends `n` set bits, 64 at a time.
+    pub fn push_ones(&mut self, mut n: usize) {
+        while n > 0 {
+            let take = n.min(64);
+            self.push_word(u64::MAX, take);
+            n -= take;
+        }
+    }
+
+    /// Appends `len` bits copied from `src` starting at bit `start`, in
+    /// 64-bit chunks (two shifts per chunk) rather than bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start + len` exceeds `src.len()`.
+    pub fn extend_range(&mut self, src: &BitVec, start: usize, len: usize) {
+        assert!(
+            start + len <= src.len,
+            "range {start}..{} out of bounds {}",
+            start + len,
+            src.len
+        );
+        let mut pos = start;
+        let end = start + len;
+        while pos < end {
+            let take = (end - pos).min(64);
+            self.push_word(src.read_word(pos, take), take);
+            pos += take;
+        }
+    }
+
+    /// A word-parallel copy of bits `start..start + len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start + len` exceeds `len()`.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        let mut out = BitVec::with_capacity(len);
+        out.extend_range(self, start, len);
+        out
+    }
+
+    /// Asserts the two vectors cover the same bit count (set operations
+    /// are defined over equal-length universes).
+    fn check_same_len(&self, other: &BitVec) {
+        assert_eq!(
+            self.len, other.len,
+            "bit-set operation over mismatched lengths"
+        );
+    }
+
+    /// Word-parallel intersection (`self & other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn intersect(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.intersect_assign(other);
+        out
+    }
+
+    /// In-place word-parallel intersection — the allocation-free form for
+    /// hot paths that reuse a scratch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn intersect_assign(&mut self, other: &BitVec) {
+        self.check_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Word-parallel union (`self | other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn union(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.union_assign(other);
+        out
+    }
+
+    /// In-place word-parallel union.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn union_assign(&mut self, other: &BitVec) {
+        self.check_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Word-parallel difference (`self & !other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn difference(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.difference_assign(other);
+        out
+    }
+
+    /// In-place word-parallel difference (`self &= !other`). The bits past
+    /// `len` in the last word stay clear because they are clear in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn difference_assign(&mut self, other: &BitVec) {
+        self.check_same_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Popcount of the intersection without materializing it — the
+    /// membership-overlap count used by cache checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn intersection_ones(&self, other: &BitVec) -> usize {
+        self.check_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits, word by word (each clear
+    /// word costs one test, each set bit two bit-tricks).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors(
+                if w == 0 { None } else { Some(w) },
+                |&rest| {
+                    let rest = rest & (rest - 1);
+                    if rest == 0 { None } else { Some(rest) }
+                },
+            )
+            .map(move |rest| wi * 64 + rest.trailing_zeros() as usize)
+        })
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -120,20 +344,22 @@ impl BitVec {
 
     /// Serializes MSB-first into octets (the wire format whose size the
     /// bandwidth model charges).
+    ///
+    /// Word-parallel: each 64-bit word yields eight output octets by
+    /// byte-reversal (`reverse_bits` converts the word's LSB-first bit
+    /// order to the wire's MSB-first octet order); padding bits of the
+    /// final partial octet are zero because bits past `len` are kept clear.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.len.div_ceil(8));
-        let mut cur = 0u8;
-        for (i, bit) in self.iter().enumerate() {
-            if bit {
-                cur |= 1 << (7 - (i % 8));
+        let nbytes = self.len.div_ceil(8);
+        let mut buf = BytesMut::with_capacity(nbytes);
+        let mut remaining = nbytes;
+        for w in &self.words {
+            let le = w.to_le_bytes();
+            let take = remaining.min(8);
+            for b in &le[..take] {
+                buf.put_u8(b.reverse_bits());
             }
-            if i % 8 == 7 {
-                buf.put_u8(cur);
-                cur = 0;
-            }
-        }
-        if !self.len.is_multiple_of(8) {
-            buf.put_u8(cur);
+            remaining -= take;
         }
         buf.freeze()
     }
@@ -158,14 +384,30 @@ impl BitVec {
     ///
     /// Returns `None` when `bytes` is shorter than `len` bits requires.
     pub fn from_bytes(bytes: &[u8], len: usize) -> Option<BitVec> {
-        if bytes.len() < len.div_ceil(8) {
+        let nbytes = len.div_ceil(8);
+        if bytes.len() < nbytes {
             return None;
         }
-        let mut bits = BitVec::with_capacity(len);
-        for i in 0..len {
-            bits.push((bytes[i / 8] >> (7 - (i % 8))) & 1 == 1);
+        // Word-parallel inverse of `to_bytes`: reverse each octet back to
+        // LSB-first order and assemble little-endian words, then clear any
+        // bits past `len` that came from the final octet's padding.
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords);
+        for chunk in 0..nwords {
+            let base = chunk * 8;
+            let end = (base + 8).min(nbytes);
+            let mut le = [0u8; 8];
+            for (k, byte) in bytes[base..end].iter().enumerate() {
+                le[k] = byte.reverse_bits();
+            }
+            words.push(u64::from_le_bytes(le));
         }
-        Some(bits)
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        Some(BitVec { words, len })
     }
 }
 
@@ -311,6 +553,117 @@ mod tests {
         assert_eq!(bv.count_ones(), 0);
         assert_eq!(bv.rank_zeros(0), 0);
         assert!(bv.to_bytes().is_empty());
+    }
+
+    #[test]
+    fn set_and_clear_update_in_place() {
+        let mut bv: BitVec = (0..130).map(|_| false).collect();
+        bv.set(0, true);
+        bv.set(64, true);
+        bv.set(129, true);
+        assert_eq!(bv.count_ones(), 3);
+        bv.set(64, false);
+        assert_eq!(bv.get(64), Some(false));
+        assert_eq!(bv.count_ones(), 2);
+        bv.clear();
+        assert!(bv.is_empty());
+    }
+
+    #[test]
+    fn bulk_push_matches_single_bit_push() {
+        for prefix in [0usize, 1, 7, 63, 64, 65] {
+            let mut bulk = BitVec::new();
+            let mut single = BitVec::new();
+            for i in 0..prefix {
+                bulk.push(i % 2 == 0);
+                single.push(i % 2 == 0);
+            }
+            bulk.push_zeros(131);
+            bulk.push_ones(67);
+            for _ in 0..131 {
+                single.push(false);
+            }
+            for _ in 0..67 {
+                single.push(true);
+            }
+            assert_eq!(bulk, single, "prefix {prefix}");
+        }
+    }
+
+    #[test]
+    fn extend_range_and_slice_match_per_bit_copy() {
+        let src: BitVec = (0..300).map(|i| (i * 11) % 7 < 3).collect();
+        for (start, len) in [(0, 300), (1, 64), (63, 65), (64, 64), (7, 0), (130, 129)] {
+            let sliced = src.slice(start, len);
+            let expected: BitVec = (start..start + len)
+                .map(|i| src.get(i).unwrap())
+                .collect();
+            assert_eq!(sliced, expected, "slice {start}+{len}");
+            let mut appended: BitVec = [true, false, true].into_iter().collect();
+            appended.extend_range(&src, start, len);
+            assert_eq!(appended.len(), 3 + len);
+            for i in 0..len {
+                assert_eq!(appended.get(3 + i), src.get(start + i), "bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_operations_match_per_bit_logic() {
+        let a: BitVec = (0..200).map(|i| i % 3 == 0).collect();
+        let b: BitVec = (0..200).map(|i| i % 5 == 0).collect();
+        let and = a.intersect(&b);
+        let or = a.union(&b);
+        let diff = a.difference(&b);
+        for i in 0..200 {
+            let (x, y) = (a.get(i).unwrap(), b.get(i).unwrap());
+            assert_eq!(and.get(i), Some(x && y), "and {i}");
+            assert_eq!(or.get(i), Some(x || y), "or {i}");
+            assert_eq!(diff.get(i), Some(x && !y), "diff {i}");
+        }
+        assert_eq!(a.intersection_ones(&b), and.count_ones());
+        // Difference keeps the tail bits of the last word clear.
+        assert_eq!(diff.count_ones() + a.intersection_ones(&b), a.count_ones());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched lengths")]
+    fn set_operations_reject_length_mismatch() {
+        let a: BitVec = (0..10).map(|_| true).collect();
+        let b: BitVec = (0..11).map(|_| true).collect();
+        a.intersect(&b);
+    }
+
+    #[test]
+    fn iter_ones_yields_set_indices_in_order() {
+        let bv: BitVec = (0..200).map(|i| i % 31 == 2).collect();
+        let expected: Vec<usize> = (0..200).filter(|i| i % 31 == 2).collect();
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), expected);
+        assert_eq!(BitVec::new().iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn byte_round_trip_across_word_boundaries() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 127, 128, 129, 300] {
+            let bv: BitVec = (0..len).map(|i| (i * 17) % 13 < 6).collect();
+            let bytes = bv.to_bytes();
+            assert_eq!(bytes.len(), len.div_ceil(8), "len {len}");
+            let back = BitVec::from_bytes(&bytes, len).unwrap();
+            assert_eq!(back, bv, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_clears_padding_bits() {
+        // All-ones octets with a ragged length: the padding bits must not
+        // leak into the word representation (count_ones and rank depend on
+        // the bits past `len` staying clear).
+        let back = BitVec::from_bytes(&[0xFF, 0xFF], 11).unwrap();
+        assert_eq!(back.len(), 11);
+        assert_eq!(back.count_ones(), 11);
+        let mut extended = back.clone();
+        extended.push(true);
+        assert_eq!(extended.count_ones(), 12);
     }
 }
 

@@ -387,42 +387,53 @@ impl BitmapSafeRegion {
     /// level blocks, phantom zero blocks under solid cells reconstructed) as
     /// a [`BitVec`] of exactly [`BitmapSafeRegion::bitmap_size`] bits — the
     /// payload a live server ships over a real transport.
+    ///
+    /// Word-parallel: materialized child blocks are appended via
+    /// [`BitVec::extend_range`] (64 bits per shift pair), phantom zero
+    /// blocks under solid cells via [`BitVec::push_zeros`], and parents are
+    /// tracked as `(is_split, count)` runs so the walk's memory stays
+    /// proportional to the materialized boundary, not the nominal encoding.
+    /// [`BitmapSafeRegion::to_bitstring`] keeps the bit-by-bit walk and the
+    /// tests pin the two paths equal.
     pub fn to_wire_bits(&self) -> BitVec {
         let mut bits = BitVec::with_capacity(self.bitmap_size());
         bits.push(self.root_free);
-        #[derive(Clone, Copy)]
-        enum ParentKind {
-            Split,
-            Dark,
-        }
         let fanout = self.config.fanout();
-        let mut parents = if self.root_free { vec![] } else { vec![ParentKind::Split] };
+        fn push_run(runs: &mut Vec<(bool, u64)>, is_split: bool, count: u64) {
+            if count == 0 {
+                return;
+            }
+            match runs.last_mut() {
+                Some((kind, n)) if *kind == is_split => *n += count,
+                _ => runs.push((is_split, count)),
+            }
+        }
+        // Parents at the current level in nominal order, run-length
+        // encoded; consecutive split parents own contiguous materialized
+        // child blocks, so a whole run is appended in one bulk copy.
+        let mut parents: Vec<(bool, u64)> =
+            if self.root_free { Vec::new() } else { vec![(true, 1)] };
         for level in &self.levels {
-            let mut next_parents = Vec::new();
+            let mut next_parents: Vec<(bool, u64)> = Vec::new();
             let mut bit = 0usize;
-            for parent in &parents {
-                match parent {
-                    ParentKind::Split => {
-                        for _ in 0..fanout {
-                            let free = level.bits.get(bit).expect("bit in range");
-                            bits.push(free);
-                            if !free {
-                                let zrank = level.bits.rank_zeros(bit);
-                                let splits =
-                                    level.split.get(zrank).expect("one split flag per zero");
-                                next_parents
-                                    .push(if splits { ParentKind::Split } else { ParentKind::Dark });
-                            }
-                            bit += 1;
-                        }
-                    }
-                    ParentKind::Dark => {
-                        for _ in 0..fanout {
-                            bits.push(false);
-                            next_parents.push(ParentKind::Dark);
-                        }
-                    }
+            for &(is_split, run) in &parents {
+                if !is_split {
+                    let zeros = run * fanout as u64;
+                    bits.push_zeros(zeros as usize);
+                    push_run(&mut next_parents, false, zeros);
+                    continue;
                 }
+                let block = run as usize * fanout;
+                bits.extend_range(level.bits.as_bitvec(), bit, block);
+                for i in bit..bit + block {
+                    if level.bits.get(i).expect("bit in range") {
+                        continue;
+                    }
+                    let zrank = level.bits.rank_zeros(i);
+                    let splits = level.split.get(zrank).expect("one split flag per zero");
+                    push_run(&mut next_parents, splits, 1);
+                }
+                bit += block;
             }
             parents = next_parents;
         }
@@ -466,22 +477,20 @@ impl BitmapSafeRegion {
         let mut levels = Vec::with_capacity(config.height as usize);
         for depth in 0..config.height {
             let expect = prev_zeros * fanout;
-            let mut level_bits = BitVec::with_capacity(expect);
-            let mut zeros = 0usize;
-            for _ in 0..expect {
-                let b = bits
-                    .get(pos)
-                    .ok_or_else(|| format!("bitmap truncated at bit {pos}"))?;
-                if !b {
-                    zeros += 1;
-                }
-                level_bits.push(b);
-                pos += 1;
+            if pos + expect > bits.len() {
+                return Err(format!("bitmap truncated at bit {}", bits.len()));
             }
+            // Word-parallel level extraction: one bulk copy plus a popcount
+            // instead of `expect` single-bit reads.
+            let level_bits = bits.slice(pos, expect);
+            pos += expect;
+            let zeros = level_bits.count_zeros();
             let is_last = depth + 1 == config.height;
             let mut split = BitVec::with_capacity(zeros);
-            for _ in 0..zeros {
-                split.push(!is_last);
+            if is_last {
+                split.push_zeros(zeros);
+            } else {
+                split.push_ones(zeros);
             }
             levels.push(Level {
                 bits: level_bits.into_ranked(),

@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn mwpsr_safety_invariant(
         user in arb_user(),
-        heading in -3.14..3.14f64,
+        heading in -std::f64::consts::PI..std::f64::consts::PI,
         alarms in arb_alarms(),
         pdf in arb_pdf(),
     ) {

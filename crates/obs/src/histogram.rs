@@ -157,6 +157,23 @@ impl Histogram {
         self.core.max.fetch_max(other.core.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Adds every value a [`HistogramSnapshot`] recorded into `self`,
+    /// bucket-wise — [`Histogram::merge`] for snapshots. Snapshots carry
+    /// their sparse bucket counts precisely so that a histogram captured
+    /// in one process (or one bench run) can be folded, exactly, into a
+    /// live registry elsewhere: the scaling bench uses this to build
+    /// per-scale labeled roll-ups from per-run snapshots.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        for &(i, n) in &snap.buckets {
+            if let Some(bucket) = self.core.buckets.get(i as usize) {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.core.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.core.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.core.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot with precomputed quantiles.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> =
@@ -187,12 +204,18 @@ impl Histogram {
             p50: quantile(0.50),
             p90: quantile(0.90),
             p99: quantile(0.99),
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
         }
     }
 }
 
 /// Point-in-time view of one histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
     /// Values recorded (as summed over the bucket array at snapshot time).
     pub count: u64,
@@ -206,6 +229,11 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th-percentile estimate (bucket midpoint).
     pub p99: u64,
+    /// Sparse non-zero bucket counts, `(bucket index, count)` in index
+    /// order — enough to reconstruct the full distribution exactly (see
+    /// [`Histogram::absorb`]). The quantile fields above are derived
+    /// from these same counts.
+    pub buckets: Vec<(u32, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -324,6 +352,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn absorbing_a_snapshot_equals_merging_the_histogram() {
+        // A snapshot carries its sparse buckets, so absorb must be
+        // exactly as faithful as a live bucket-wise merge.
+        let source = Histogram::new();
+        for v in [0u64, 3, 7, 512, 513, 90_000, 90_000, u64::MAX / 5] {
+            source.record(v);
+        }
+        let via_merge = Histogram::new();
+        via_merge.merge(&source);
+        let via_absorb = Histogram::new();
+        via_absorb.absorb(&source.snapshot());
+        assert_eq!(via_absorb.snapshot(), via_merge.snapshot());
+        // Absorbing accumulates, like merge.
+        via_absorb.absorb(&source.snapshot());
+        assert_eq!(via_absorb.snapshot().count, 2 * source.snapshot().count);
     }
 
     #[test]

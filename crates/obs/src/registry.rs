@@ -207,7 +207,7 @@ impl Snapshot {
         self.histograms
             .iter()
             .find(|(k, _)| k.name == name && labels.iter().all(|(lk, lv)| k.label(lk) == Some(*lv)))
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.clone())
     }
 }
 

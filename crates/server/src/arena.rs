@@ -1,0 +1,169 @@
+//! Reply-slot pooling for the router's hot path.
+//!
+//! Before this module existed, every routed location update allocated a
+//! fresh one-shot reply channel (`unbounded()` — an `Arc`, a `Mutex`, a
+//! `VecDeque`, a `Condvar`) plus the worker's reply vectors. A
+//! [`ReplyPool`] recycles all of it: a [`ReplySlot`] bundles a
+//! long-lived channel pair with warmed reply buffers, the router leases
+//! one per request, threads the buffers through the job (see
+//! [`crate::shard::Job::scratch`]), and returns the slot after the reply
+//! is consumed. Once the pool and the shard queues are warm, the
+//! steady-state single-update round trip performs **zero** heap
+//! allocations — pinned by the `alloc_steady_state` integration test.
+//!
+//! Trade-off, documented here because it is deliberate: the slot keeps a
+//! `Sender` clone alive between leases, so `slot.rx.recv()` can no
+//! longer observe a disconnect if a worker dies mid-job (the old
+//! per-request channel turned that into `BAD_REQUEST`). A panicking
+//! worker already wedges its whole shard — its queue fills and every
+//! later submit bounces `Overloaded` — so losing the per-request
+//! disconnect signal does not change the failure story, only the first
+//! caller's symptom (a hang instead of an error). Workers never panic by
+//! contract; every `process_into` arm is total.
+
+use crate::shard::JobReply;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Upper bound on pooled slots — enough for every concurrent router
+/// thread a replay drives, small enough that an idle server holds only a
+/// few KiB of warm buffers.
+const MAX_POOLED_SLOTS: usize = 64;
+
+/// Initial capacity of the recycled per-update response buffer: a
+/// steady-state reply is 1 terminal response, a firing burst adds a few
+/// trigger deliveries.
+const RESPONSE_CAPACITY: usize = 8;
+
+/// One leased reply path: a reusable channel pair plus the warmed reply
+/// buffers the worker fills. Obtain from [`ReplyPool::acquire`], give
+/// the buffers to the job via [`ReplySlot::take_scratch`], and hand the
+/// slot back with [`ReplyPool::release`].
+#[derive(Debug)]
+pub(crate) struct ReplySlot {
+    /// Cloned into each [`crate::shard::Job`] sent under this lease.
+    pub tx: Sender<JobReply>,
+    /// Where the router waits for the worker's reply.
+    pub rx: Receiver<JobReply>,
+    /// The recycled reply buffers: one `(0, responses)` group whose
+    /// inner vector keeps its high-water capacity across leases.
+    groups: JobReply,
+}
+
+impl ReplySlot {
+    fn new() -> ReplySlot {
+        let (tx, rx) = unbounded();
+        let groups = vec![(0, Vec::with_capacity(RESPONSE_CAPACITY))];
+        ReplySlot { tx, rx, groups }
+    }
+
+    /// Moves the warmed reply buffers out of the slot, for
+    /// [`crate::shard::Job::scratch`]. The slot stays leased; put the
+    /// buffers back with [`ReplySlot::restore`] (or [`ReplySlot::reclaim`]
+    /// when the job bounced) before releasing.
+    pub fn take_scratch(&mut self) -> JobReply {
+        std::mem::take(&mut self.groups)
+    }
+
+    /// Returns reply buffers to the slot after the reply was consumed.
+    pub fn restore(&mut self, groups: JobReply) {
+        self.groups = groups;
+    }
+
+    /// Recovers the buffers from a job that never reached a worker
+    /// (submit bounced with `Full`/`Disconnected`).
+    pub fn reclaim(&mut self, scratch: JobReply) {
+        self.groups = scratch;
+    }
+}
+
+/// A lock-guarded free list of [`ReplySlot`]s. `acquire` pops a warm
+/// slot (or builds a fresh one when the pool is empty — cold start
+/// only), `release` scrubs and returns it.
+#[derive(Debug)]
+pub(crate) struct ReplyPool {
+    slots: Mutex<Vec<ReplySlot>>,
+}
+
+impl ReplyPool {
+    pub fn new() -> ReplyPool {
+        ReplyPool { slots: Mutex::new(Vec::with_capacity(MAX_POOLED_SLOTS)) }
+    }
+
+    /// Leases a slot. Pops from the free list when one is warm; the
+    /// free-list vector keeps its capacity, so a steady-state acquire is
+    /// one mutex lock and one pointer move.
+    pub fn acquire(&self) -> ReplySlot {
+        self.slots.lock().pop().unwrap_or_else(ReplySlot::new)
+    }
+
+    /// Returns a slot to the free list, scrubbing any stale state: the
+    /// channel is drained (a lease that timed out waiting could leave a
+    /// late reply behind) and the recycled buffers are cleared down to
+    /// their capacity. Slots beyond the pool cap are dropped.
+    pub fn release(&self, mut slot: ReplySlot) {
+        while slot.rx.try_recv().is_ok() {}
+        // A lease whose buffers were lost with a dead job re-warms here.
+        if slot.groups.is_empty() {
+            slot.groups.push((0, Vec::with_capacity(RESPONSE_CAPACITY)));
+        }
+        for (index, responses) in &mut slot.groups {
+            *index = 0;
+            responses.clear();
+        }
+        slot.groups.truncate(1);
+        let mut slots = self.slots.lock();
+        if slots.len() < MAX_POOLED_SLOTS {
+            slots.push(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Response;
+
+    #[test]
+    fn slots_recycle_channel_and_buffers() {
+        let pool = ReplyPool::new();
+        let mut slot = pool.acquire();
+        let mut scratch = slot.take_scratch();
+        assert_eq!(scratch.len(), 1, "a warm slot carries one reply group");
+        let responses_ptr = scratch[0].1.as_ptr();
+        // Simulate the worker: fill the buffers and send them back.
+        scratch[0].1.push(Response::Ack { seq: 7 });
+        slot.tx.send(scratch).unwrap();
+        let groups = slot.rx.recv().unwrap();
+        assert_eq!(groups[0].1, vec![Response::Ack { seq: 7 }]);
+        slot.restore(groups);
+        pool.release(slot);
+
+        // The same buffers come back on the next lease, scrubbed.
+        let mut again = pool.acquire();
+        let scratch = again.take_scratch();
+        assert!(scratch[0].1.is_empty(), "released buffers are cleared");
+        assert_eq!(scratch[0].1.as_ptr(), responses_ptr, "the allocation is reused");
+        again.restore(scratch);
+        pool.release(again);
+    }
+
+    #[test]
+    fn release_scrubs_stale_replies_and_rewarns_lost_buffers() {
+        let pool = ReplyPool::new();
+        let slot = pool.acquire();
+        // A late worker reply nobody consumed.
+        slot.tx.send(vec![(3, vec![Response::Ack { seq: 1 }])]).unwrap();
+        // Buffers lost with a dead job: release with empty groups.
+        let mut slot = slot;
+        let _ = slot.take_scratch();
+        pool.release(slot);
+        let mut next = pool.acquire();
+        assert!(next.rx.try_recv().is_err(), "stale replies are drained");
+        let scratch = next.take_scratch();
+        assert_eq!(scratch.len(), 1, "lost buffers are re-warmed");
+        assert!(scratch[0].1.is_empty());
+        next.restore(scratch);
+        pool.release(next);
+    }
+}

@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 pub mod cache;
 pub mod chaos;
 pub mod client;

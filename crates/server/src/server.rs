@@ -14,6 +14,7 @@
 //! and `fired.read()` together; no writer ever takes a second lock, so
 //! no cycle exists.
 
+use crate::arena::ReplyPool;
 use crate::cache::{CacheStats, RegionCache};
 use crate::clock::{SharedClock, SystemClock};
 use crate::shard::{shard_of_index, Job, JobPayload, ShardIndex, ShardPool, ShardUpdate, SubmitError};
@@ -21,7 +22,6 @@ use crate::wire::{
     dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, CellRange, Request,
     Response, SessionState, StrategySpec, TraceCtxExt, SEQ_MASK,
 };
-use crossbeam::channel::unbounded;
 use parking_lot::RwLock;
 use sa_alarms::{AlarmId, AlarmIndex, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
 use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
@@ -30,9 +30,17 @@ use sa_obs::{
     client_root_span, dispatch_span, trace_id_for, Counter, Exemplars, Histogram, Registry, Span,
     SpanKind, SpanRecorder, TimeSource, TraceCtx, TraceMode, TraceRing,
 };
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread scratch for the worker trigger check's hit list, reused
+    /// across updates so the steady-state case (no triggering alarms)
+    /// never touches the heap.
+    static TRIGGER_SCRATCH: RefCell<Vec<AlarmId>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Error codes carried by [`Response::Error`].
 pub mod error_code {
@@ -263,6 +271,10 @@ struct Core {
     /// load signal the federation's hot-cell repartitioner reads.
     cell_updates: Vec<Counter>,
     cache: RegionCache,
+    /// Recycled reply channels and buffers for routed updates — the
+    /// steady-state hot path leases a warm slot instead of allocating a
+    /// one-shot channel per request.
+    replies: ReplyPool,
     /// Every counter/gauge/histogram of this server instance — scrapeable
     /// over the wire via [`Request::Stats`].
     registry: Arc<Registry>,
@@ -386,6 +398,7 @@ impl Server {
             fed: RwLock::new(None),
             cell_updates,
             cache: RegionCache::with_registry(&registry),
+            replies: ReplyPool::new(),
             metrics,
             // One extra pseudo-shard ring for router-side events
             // (overloads, session open/close).
@@ -404,21 +417,30 @@ impl Server {
 
         let worker_core = Arc::clone(&core);
         let handler = Arc::new(move |shard: usize, job: Job| {
-            let Job { payload, reply, enqueued_at_ns } = job;
+            let Job { payload, reply, enqueued_at_ns, mut scratch } = job;
             match payload {
                 JobPayload::Single { session, req } => {
                     worker_core.shard_wait_span(shard, session, req.seq(), enqueued_at_ns);
-                    let responses = worker_core.process(shard, session, &req);
-                    let _ = reply.send(vec![(0, responses)]);
+                    // Fill the router's pooled buffers instead of
+                    // allocating; an unseeded job (only tests build
+                    // those) falls back to fresh vectors.
+                    let (_, mut responses) = scratch.pop().unwrap_or((0, Vec::new()));
+                    responses.clear();
+                    worker_core.process_into(shard, session, &req, &mut responses);
+                    scratch.clear();
+                    scratch.push((0, responses));
+                    let _ = reply.send(scratch);
                 }
                 JobPayload::Batch(updates) => {
-                    let mut out = Vec::with_capacity(updates.len());
+                    scratch.clear();
+                    scratch.reserve(updates.len());
                     for u in updates {
                         worker_core.shard_wait_span(shard, u.session, u.req.seq(), enqueued_at_ns);
-                        let responses = worker_core.process(shard, u.session, &u.req);
-                        out.push((u.index, responses));
+                        let mut responses = Vec::new();
+                        worker_core.process_into(shard, u.session, &u.req, &mut responses);
+                        scratch.push((u.index, responses));
                     }
-                    let _ = reply.send(out);
+                    let _ = reply.send(scratch);
                 }
             }
         });
@@ -558,7 +580,26 @@ impl Server {
 
     /// Routes one request and returns its full response sequence: zero or
     /// more trigger deliveries followed by one terminal response.
+    ///
+    /// Allocates a fresh result vector per call; allocation-conscious
+    /// callers use [`Server::handle_into`] with a reused buffer instead.
     pub fn handle(&self, session: u32, req: Request) -> Vec<Response> {
+        let mut out = Vec::new();
+        self.handle_into(session, req, &mut out);
+        out
+    }
+
+    /// Routes one request, appending its full response sequence (zero or
+    /// more trigger deliveries followed by one terminal response) to
+    /// `out`.
+    ///
+    /// This is the allocation-free entry point of the update hot path:
+    /// once `out`, the reply-slot pool, and the shard queues are warm, a
+    /// steady-state location update (the PBSR quick-update answer) runs
+    /// router → shard queue → worker → reply without a single heap
+    /// allocation — the invariant the `alloc_steady_state` integration
+    /// test pins with a counting allocator.
+    pub fn handle_into(&self, session: u32, req: Request, out: &mut Vec<Response>) {
         let seq = req.seq();
         match req {
             Request::Hello { seq, user, strategy } => {
@@ -571,29 +612,33 @@ impl Server {
                         delivery_log: Vec::new(),
                     },
                 );
-                vec![Response::Ack { seq }]
+                out.push(Response::Ack { seq });
             }
             Request::Bye { seq } => {
                 self.core.sessions.remove(session);
-                vec![Response::Ack { seq }]
+                out.push(Response::Ack { seq });
             }
-            Request::TriggerNotify { seq, alarm } => self.core.notify_trigger(session, seq, alarm),
+            Request::TriggerNotify { seq, alarm } => {
+                out.extend(self.core.notify_trigger(session, seq, alarm));
+            }
             Request::InstallAlarm { seq, alarm, flags, rect } => {
-                self.install_alarm(session, seq, alarm, flags, rect)
+                out.extend(self.install_alarm(session, seq, alarm, flags, rect));
             }
-            Request::RemoveAlarm { seq, alarm } => self.remove_alarm(session, seq, alarm),
+            Request::RemoveAlarm { seq, alarm } => {
+                out.extend(self.remove_alarm(session, seq, alarm));
+            }
             Request::Stats { seq } => {
-                vec![Response::Stats { seq, text: self.prometheus() }]
+                out.push(Response::Stats { seq, text: self.prometheus() });
             }
             Request::Topology { seq, .. } => {
                 let (epoch, ranges) = self.topology();
-                vec![Response::Topology { seq, epoch, ranges }]
+                out.push(Response::Topology { seq, epoch, ranges });
             }
             Request::HandoffExport { seq, session: target, trace } => {
-                self.core.export_session(seq, target, trace)
+                out.extend(self.core.export_session(seq, target, trace));
             }
             Request::HandoffImport { seq, session: target, state, trace } => {
-                self.core.import_session(seq, target, state, trace)
+                out.extend(self.core.import_session(seq, target, state, trace));
             }
             Request::HandoffRelease { seq, session: target, trace } => {
                 // Idempotent by design: releasing an absent session (a
@@ -610,10 +655,10 @@ impl Server {
                     u64::from(target),
                     0,
                 );
-                vec![Response::Ack { seq }]
+                out.push(Response::Ack { seq });
             }
             Request::InstallTopology { seq, epoch, ranges, trace } => {
-                self.core.install_topology(seq, epoch, ranges, trace)
+                out.extend(self.core.install_topology(seq, epoch, ranges, trace));
             }
             req @ (Request::LocationUpdate { .. } | Request::Resync { .. }) => {
                 let (x_fx, y_fx) =
@@ -625,14 +670,19 @@ impl Server {
                 // old owner has released the session, and the useful
                 // answer there is the redirect, not NO_SESSION.
                 if let Some(bounce) = self.core.wrong_owner(cell, seq) {
-                    return vec![bounce];
+                    out.push(bounce);
+                    return;
                 }
                 if !self.core.session_exists(session) {
-                    return vec![Response::Error { seq, code: error_code::NO_SESSION }];
+                    out.push(Response::Error { seq, code: error_code::NO_SESSION });
+                    return;
                 }
                 let shard = shard_of_index(self.core.grid.cell_index(cell), self.core.num_shards);
-                let (reply_tx, reply_rx) = unbounded();
-                let job = Job::new(session, req, reply_tx, entered_ns);
+                // Lease a warm reply slot: channel and reply buffers are
+                // recycled across requests instead of allocated anew.
+                let mut slot = self.core.replies.acquire();
+                let mut job = Job::new(session, req, slot.tx.clone(), entered_ns);
+                job.scratch = slot.take_scratch();
                 // Submit under the read guard, but wait for the reply
                 // outside it so shutdown() is never blocked behind a
                 // slow worker.
@@ -640,14 +690,14 @@ impl Server {
                     let pool = self.pool.read();
                     match pool.as_ref() {
                         Some(pool) => pool.try_submit(shard, job),
-                        None => {
-                            return vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
-                        }
+                        None => Err(SubmitError::Disconnected(job)),
                     }
                 };
                 match submitted {
                     Ok(()) => {}
-                    Err(SubmitError::Full(_)) => {
+                    Err(SubmitError::Full(job)) => {
+                        slot.reclaim(job.scratch);
+                        self.core.replies.release(slot);
                         self.core.metrics.overloads.inc();
                         self.core.tracer.event(
                             self.core.num_shards,
@@ -655,20 +705,35 @@ impl Server {
                             session as u64,
                             shard as u64,
                         );
-                        return vec![Response::Overloaded { seq }];
+                        out.push(Response::Overloaded { seq });
+                        return;
                     }
-                    Err(SubmitError::Disconnected(_)) => {
-                        return vec![Response::Error { seq, code: error_code::BAD_REQUEST }];
+                    Err(SubmitError::Disconnected(job)) => {
+                        slot.reclaim(job.scratch);
+                        self.core.replies.release(slot);
+                        out.push(Response::Error { seq, code: error_code::BAD_REQUEST });
+                        return;
                     }
                 }
-                let out = reply_rx
-                    .recv()
-                    .ok()
-                    .and_then(|mut groups| groups.pop())
-                    .map(|(_, responses)| responses)
-                    .unwrap_or_else(|| {
-                        vec![Response::Error { seq, code: error_code::BAD_REQUEST }]
-                    });
+                match slot.rx.recv() {
+                    Ok(mut groups) => match groups.pop() {
+                        Some((_, mut responses)) => {
+                            // Move the worker's responses out, then hand
+                            // the emptied buffers back to the slot.
+                            out.append(&mut responses);
+                            groups.push((0, responses));
+                            slot.restore(groups);
+                        }
+                        None => {
+                            slot.restore(groups);
+                            out.push(Response::Error { seq, code: error_code::BAD_REQUEST });
+                        }
+                    },
+                    // Unreachable while the slot holds its sender, kept
+                    // total for safety.
+                    Err(_) => out.push(Response::Error { seq, code: error_code::BAD_REQUEST }),
+                }
+                self.core.replies.release(slot);
                 let elapsed = self.core.clock.elapsed_since(entered_ns);
                 self.core.metrics.update_rtt.record_duration(elapsed);
                 let trace = trace_id_for(session, seq);
@@ -676,9 +741,8 @@ impl Server {
                     .rtt_exemplars
                     .observe(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX), trace);
                 self.core.record_dispatch(shard as u32, trace, entered_ns, session, seq);
-                out
             }
-            Request::Batch { seq, updates } => self.handle_batch(seq, updates),
+            Request::Batch { seq, updates } => self.handle_batch(seq, updates, out),
         }
     }
 
@@ -689,7 +753,12 @@ impl Server {
     /// retries those entries); unknown sessions error individually
     /// without touching any shard. The wall clock is read exactly once,
     /// at entry, and threaded through every job.
-    fn handle_batch(&self, seq: u32, updates: Vec<BatchedUpdate>) -> Vec<Response> {
+    ///
+    /// The reply channel is leased from the slot pool, but the per-update
+    /// grouping and reply vectors still allocate — the allocation-free
+    /// invariant covers the single-update path only; batches amortize
+    /// their allocations over the whole frame.
+    fn handle_batch(&self, seq: u32, updates: Vec<BatchedUpdate>, out: &mut Vec<Response>) {
         let entered_ns = self.core.clock.now_ns();
         // Per-update sequence numbers, kept so the reply loop can derive
         // each update's trace id after `updates` is consumed.
@@ -731,7 +800,7 @@ impl Server {
             });
         }
 
-        let (reply_tx, reply_rx) = unbounded();
+        let slot = self.core.replies.acquire();
         let mut submitted = 0usize;
         // Bounce a whole shard slice as per-update responses.
         let bounce = |replies: &mut Vec<BatchReply>, slice: Vec<ShardUpdate>, overloaded| {
@@ -751,7 +820,7 @@ impl Server {
                 match pool.as_ref() {
                     None => bounce(&mut replies, slice, false),
                     Some(pool) => {
-                        match pool.try_submit(shard, Job::batch(slice, reply_tx.clone(), entered_ns))
+                        match pool.try_submit(shard, Job::batch(slice, slot.tx.clone(), entered_ns))
                         {
                             Ok(()) => submitted += 1,
                             Err(SubmitError::Full(job)) => {
@@ -778,9 +847,11 @@ impl Server {
                 }
             }
         }
-        drop(reply_tx);
+        // Every submitted job sends exactly one reply, so the loop count
+        // replaces the old sender-drop/disconnect protocol (the slot
+        // keeps its sender alive for the next lease).
         for _ in 0..submitted {
-            let Ok(groups) = reply_rx.recv() else { break };
+            let Ok(groups) = slot.rx.recv() else { break };
             for (index, responses) in groups {
                 // Each batched update's round trip is the batch's: entry
                 // to its worker reply.
@@ -801,7 +872,8 @@ impl Server {
                 replies[index as usize].responses = responses;
             }
         }
-        vec![Response::Batch { seq, replies }]
+        self.core.replies.release(slot);
+        out.push(Response::Batch { seq, replies });
     }
 
     /// Installs a static-target alarm everywhere it belongs: the global
@@ -1183,8 +1255,9 @@ impl Core {
     }
 
     /// The shard-worker entry point: evaluate one location update or
-    /// post-failure resync.
-    fn process(&self, shard: usize, session: u32, req: &Request) -> Vec<Response> {
+    /// post-failure resync, appending the response sequence to `out`
+    /// (normally a recycled buffer from the router's reply-slot pool).
+    fn process_into(&self, shard: usize, session: u32, req: &Request, out: &mut Vec<Response>) {
         let (seq, x_fx, y_fx, motion, resync_acked) = match *req {
             Request::LocationUpdate { seq, x_fx, y_fx, motion } => {
                 (seq, x_fx, y_fx, motion, None)
@@ -1192,11 +1265,17 @@ impl Core {
             Request::Resync { seq, x_fx, y_fx, motion, acked } => {
                 (seq, x_fx, y_fx, motion, Some(acked))
             }
-            _ => return vec![Response::Error { seq: req.seq(), code: error_code::BAD_REQUEST }],
+            _ => {
+                out.push(Response::Error { seq: req.seq(), code: error_code::BAD_REQUEST });
+                return;
+            }
         };
         let (user, strategy) = match self.sessions.peek(session) {
             Some(header) => header,
-            None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
+            None => {
+                out.push(Response::Error { seq, code: error_code::NO_SESSION });
+                return;
+            }
         };
         self.metrics.location_updates.inc();
         let trace = trace_id_for(session, seq);
@@ -1208,7 +1287,7 @@ impl Core {
         let cell_word = self.grid.cell_index(cell) as u32;
         self.cell_updates[cell_word as usize].inc();
 
-        let mut out = Vec::new();
+        let before = out.len();
         if let Some(acked) = resync_acked {
             // A resync is never an error, whatever state the session is
             // in: re-send the deliveries past the client's cursor (lost
@@ -1234,32 +1313,45 @@ impl Core {
                 SpanKind::Redelivery,
                 redeliver_started_ns,
                 session as u64,
-                out.len() as u64,
+                (out.len() - before) as u64,
             );
         }
 
         // Server-side trigger check against the shard-local index; the
         // triggering alarm contains `pos`, hence intersects `cell`, hence
-        // is owned by this shard.
-        let triggering = self.shard_indexes[shard].read().triggering_at(user, pos);
-        let mut newly_fired = Vec::new();
-        if !triggering.is_empty() {
-            let mut fired = self.fired.write();
-            for id in triggering {
-                if fired.insert((user, id)) {
-                    self.metrics.triggers.inc();
-                    self.tracer.event(shard, "trigger", user.0 as u64, id.0);
-                    newly_fired.push(id.0 as u32);
+        // is owned by this shard. Hits land in a per-thread scratch
+        // buffer, so the steady-state case (no triggering alarms) takes
+        // the index read lock, finds nothing, and never allocates — and
+        // the `fired` write lock is not taken at all.
+        let fired_now = TRIGGER_SCRATCH.with(|scratch| {
+            let mut triggering = scratch.borrow_mut();
+            triggering.clear();
+            self.shard_indexes[shard]
+                .read()
+                .for_each_triggering(user, pos, |id| triggering.push(id));
+            if triggering.is_empty() {
+                return false;
+            }
+            let mut newly_fired = Vec::new();
+            {
+                let mut fired = self.fired.write();
+                for &id in triggering.iter() {
+                    if fired.insert((user, id)) {
+                        self.metrics.triggers.inc();
+                        self.tracer.event(shard, "trigger", user.0 as u64, id.0);
+                        newly_fired.push(id.0 as u32);
+                    }
                 }
             }
-        }
-        if !newly_fired.is_empty() {
+            if newly_fired.is_empty() {
+                return false;
+            }
             // First-time firings join the session's delivery log so a
             // later resync can recover them if this response is lost.
             self.sessions.with_mut(session, |s| s.delivery_log.extend_from_slice(&newly_fired));
             out.extend(newly_fired.iter().map(|&alarm| Response::TriggerDelivery { seq, alarm }));
-        }
-        let fired_now = !newly_fired.is_empty();
+            true
+        });
 
         match strategy {
             StrategySpec::Mwpsr => {
@@ -1375,7 +1467,6 @@ impl Core {
                 out.push(Response::SafePeriodGrant { period_ms });
             }
         }
-        out
     }
 
     /// The PBSR terminal payload for one (user, cell): served from the

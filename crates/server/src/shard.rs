@@ -110,12 +110,21 @@ impl ShardIndex {
     /// `pos` — the server-side trigger check (the caller still filters by
     /// fired state).
     pub fn triggering_at(&self, user: SubscriberId, pos: Point) -> Vec<AlarmId> {
-        let (candidates, _) = self.index.relevant_at(user, pos);
-        candidates
-            .into_iter()
-            .filter(|a| a.triggers_at(pos))
-            .map(|a| self.global(a.id()))
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_triggering(user, pos, |id| out.push(id));
+        out
+    }
+
+    /// Visits the global id of every relevant alarm triggering at `pos`
+    /// without allocating — the worker hot path's trigger check. Callers
+    /// push hits into a reused scratch buffer so the steady-state (no
+    /// triggering alarms) update touches the heap zero times.
+    pub fn for_each_triggering(&self, user: SubscriberId, pos: Point, mut f: impl FnMut(AlarmId)) {
+        self.index.relevant_at_visit(user, pos, |a| {
+            if a.triggers_at(pos) {
+                f(self.global(a.id()));
+            }
+        });
     }
 
     /// Views of the alarms relevant to `user` intersecting `area` — the
@@ -198,17 +207,34 @@ pub struct Job {
     /// therefore measures router-entry→worker-pickup (queue wait plus
     /// the router's constant-time fan-out work).
     pub enqueued_at_ns: u64,
+    /// Pre-allocated reply buffers the worker fills and sends back over
+    /// `reply` instead of allocating its own. The router's reply-slot
+    /// pool seeds this with warmed (already-at-capacity) vectors and
+    /// recycles them once the reply is consumed, making the steady-state
+    /// single-update round trip allocation-free. An empty scratch is
+    /// always valid — the worker falls back to fresh vectors.
+    pub scratch: JobReply,
 }
 
 impl Job {
     /// A single-request job carrying the router's entry timestamp.
     pub fn new(session: u32, req: Request, reply: Sender<JobReply>, entered_ns: u64) -> Job {
-        Job { payload: JobPayload::Single { session, req }, reply, enqueued_at_ns: entered_ns }
+        Job {
+            payload: JobPayload::Single { session, req },
+            reply,
+            enqueued_at_ns: entered_ns,
+            scratch: Vec::new(),
+        }
     }
 
     /// A batch-slice job carrying the router's entry timestamp.
     pub fn batch(updates: Vec<ShardUpdate>, reply: Sender<JobReply>, entered_ns: u64) -> Job {
-        Job { payload: JobPayload::Batch(updates), reply, enqueued_at_ns: entered_ns }
+        Job {
+            payload: JobPayload::Batch(updates),
+            reply,
+            enqueued_at_ns: entered_ns,
+            scratch: Vec::new(),
+        }
     }
 
     /// The single request inside a [`JobPayload::Single`] job, if any.
@@ -375,6 +401,10 @@ impl ShardPool {
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
+    // The large Err is the point: a bounced job comes back by value so
+    // the router can reclaim its pooled scratch buffers, and the error
+    // path (queue full / shutdown) is cold by construction.
+    #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, shard: usize, job: Job) -> Result<(), SubmitError> {
         match self.senders[shard].try_send(job) {
             Ok(()) => {

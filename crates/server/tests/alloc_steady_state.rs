@@ -1,0 +1,109 @@
+//! Pins the allocation-free shard invariant: once the reply-slot pool,
+//! the shard queues, and the caller's response buffer are warm, a
+//! steady-state location update (the PBSR quick-update answer — same
+//! cell, nothing fired) runs router → shard queue → worker → reply with
+//! **zero** heap allocations, on every thread of the process.
+//!
+//! The test installs a counting `#[global_allocator]` (its own binary,
+//! so no other test pollutes the counter), warms the path, snapshots
+//! the allocation count, drives more updates, and asserts the counter
+//! did not move. Tracing is forced to `TraceMode::Off` — the span gate
+//! is an atomic load, so that mode is part of the steady-state contract.
+
+use sa_alarms::{AlarmId, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
+use sa_geometry::{Grid, Point, Rect};
+use sa_server::wire::{quantize_m, Request, StrategySpec};
+use sa_server::{Server, ServerConfig, TraceMode};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (alloc, zeroed alloc, realloc) made anywhere
+/// in the process. Deallocations are not counted — the invariant is
+/// "no new memory", and zero allocations implies zero frees of new
+/// memory.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_update_path_allocates_nothing() {
+    let universe = Rect::new(0.0, 0.0, 10_000.0, 10_000.0).unwrap();
+    let grid = Grid::new(universe, 1_000.0).unwrap();
+    // One public alarm far from the subscriber: the index is non-trivial
+    // but nothing ever triggers on the steady path.
+    let alarm = SpatialAlarm::new(
+        AlarmId(0),
+        Rect::new(9_000.0, 9_000.0, 9_500.0, 9_500.0).unwrap(),
+        AlarmTarget::Static(Point::new(9_250.0, 9_250.0)),
+        AlarmScope::Public { owner: SubscriberId(99) },
+    );
+    let server = Server::start(
+        grid,
+        vec![alarm],
+        30.0,
+        ServerConfig { num_shards: 1, queue_capacity: 16 },
+    );
+    server.set_trace_mode(TraceMode::Off);
+
+    let session = server.open_session();
+    let mut out = Vec::new();
+    server.handle_into(
+        session,
+        Request::Hello { seq: 0, user: 7, strategy: StrategySpec::Pbsr { height: 2 } },
+        &mut out,
+    );
+    let (x_fx, y_fx) = (quantize_m(500.0), quantize_m(500.0));
+    let update = |seq| Request::LocationUpdate { seq, x_fx, y_fx, motion: 0 };
+
+    // Warm-up: the first update computes and caches the cell's bitmap;
+    // the rest exercise the quick-update path until every buffer — reply
+    // slot, shard queue deque, response vector, trigger scratch — has
+    // reached its high-water capacity.
+    for seq in 1..=64u32 {
+        out.clear();
+        server.handle_into(session, update(seq), &mut out);
+        assert!(!out.is_empty(), "warm-up update {seq} got no response");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(before > 0, "the counting allocator must have seen the setup allocations");
+    const STEADY_UPDATES: u32 = 100;
+    for seq in 65..65 + STEADY_UPDATES {
+        out.clear();
+        server.handle_into(session, update(seq), &mut out);
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    // Responses are checked *after* the measured window (the assert
+    // machinery itself may allocate on failure).
+    assert_eq!(out.len(), 1, "quick update answers with a bare Ack");
+    assert_eq!(
+        delta, 0,
+        "steady-state updates allocated {delta} times over {STEADY_UPDATES} updates \
+         — the hot path must stay allocation-free"
+    );
+    server.shutdown();
+}

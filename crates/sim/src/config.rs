@@ -74,18 +74,26 @@ impl SimulationConfig {
     }
 
     /// The paper setup with *both* the fleet and the alarm workload
-    /// shrunk by `factor` (subscribers shrink with the fleet so every
+    /// scaled by `factor` (subscribers scale with the fleet so every
     /// alarm still has a live owner). Unlike [`SimulationConfig::scaled`],
     /// this changes per-cell alarm density, so figures lose their shapes —
-    /// it exists for end-to-end throughput runs (`scale_replay`, the
-    /// tenth-scale stress test) where the point is "a proportional slice
-    /// of the paper's hour", not a faithful cost model.
+    /// it exists for end-to-end throughput runs (`scale_replay`,
+    /// `scaling_curve`) where the point is "a proportional slice (or
+    /// multiple) of the paper's hour", not a faithful cost model.
+    ///
+    /// Factors above 1 grow the workload *past* paper scale: `10.0` is
+    /// the 100k-subscriber sweep, `100.0` the 1M-subscriber sweep. The
+    /// universe stays fixed, so overscale runs raise density — the
+    /// regime the scaling-exponent fit probes.
     ///
     /// # Panics
     ///
-    /// Panics when `factor` is not in `(0, 1]`.
+    /// Panics when `factor` is not a positive finite number.
     pub fn paper_fraction(factor: f64) -> SimulationConfig {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive and finite"
+        );
         let mut config = SimulationConfig::paper_default();
         config.fleet.vehicles = ((config.fleet.vehicles as f64 * factor) as usize).max(10);
         config.workload.alarms = ((config.workload.alarms as f64 * factor) as usize).max(10);
@@ -218,9 +226,32 @@ mod tests {
     }
 
     #[test]
+    fn paper_fraction_scales_past_paper_size() {
+        // Multipliers > 1 grow the synthetic workload: 10× is the
+        // 100k-subscriber sweep point, 100× the 1M one.
+        let c = SimulationConfig::paper_fraction(10.0);
+        c.validate();
+        assert_eq!(c.fleet.vehicles, 100_000);
+        assert_eq!(c.workload.alarms, 100_000);
+        assert_eq!(c.workload.subscribers, 100_000);
+        let c = SimulationConfig::paper_fraction(100.0);
+        c.validate();
+        assert_eq!(c.workload.subscribers, 1_000_000);
+        // The universe does not grow with the workload.
+        let km2 = c.universe().area() / 1.0e6;
+        assert!((999.0..1001.0).contains(&km2), "universe {km2} km²");
+    }
+
+    #[test]
     #[should_panic(expected = "scale factor")]
-    fn paper_fraction_rejects_overscale() {
-        SimulationConfig::paper_fraction(1.5);
+    fn paper_fraction_rejects_nonpositive_scale() {
+        SimulationConfig::paper_fraction(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn paper_fraction_rejects_non_finite_scale() {
+        SimulationConfig::paper_fraction(f64::INFINITY);
     }
 
     #[test]
