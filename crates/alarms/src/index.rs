@@ -1,7 +1,31 @@
 use crate::{AlarmId, AlarmScope, SpatialAlarm, SubscriberId};
 use sa_geometry::{Point, Rect};
 use sa_index::{QueryStats, RStarTree};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// An alarm id broke the dense `0..len` id space [`AlarmIndex`] requires
+/// (ids double as vector indexes). Returned by [`AlarmIndex::try_build`]
+/// and [`AlarmIndex::try_install`]; the server maps it to a wire-level
+/// error response instead of panicking on a malformed install frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonDenseIdError {
+    /// The id the dense id space required next.
+    pub expected: u64,
+    /// The id actually presented.
+    pub got: u64,
+}
+
+impl std::fmt::Display for NonDenseIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alarm ids must be dense and ordered: expected {}, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for NonDenseIdError {}
 
 /// The server-side index of installed spatial alarms: an R*-tree over alarm
 /// regions (paper §5.1) plus per-subscriber relevance filtering.
@@ -31,15 +55,48 @@ impl AlarmIndex {
     /// # Panics
     ///
     /// Panics when alarm ids are not dense (`0..alarms.len()`), which the
-    /// workload generator guarantees.
+    /// workload generator guarantees. Callers facing untrusted ids (the
+    /// server's install path) use [`AlarmIndex::try_build`] instead.
     pub fn build(alarms: Vec<SpatialAlarm>) -> AlarmIndex {
+        AlarmIndex::try_build(alarms).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the index over `alarms`, rejecting non-dense ids with a
+    /// typed error instead of panicking. The R*-tree is STR-bulk-loaded
+    /// in one pass rather than grown by repeated insertion.
+    ///
+    /// # Errors
+    ///
+    /// [`NonDenseIdError`] when the ids are not exactly `0..alarms.len()`
+    /// in order.
+    pub fn try_build(alarms: Vec<SpatialAlarm>) -> Result<AlarmIndex, NonDenseIdError> {
         for (i, a) in alarms.iter().enumerate() {
-            assert_eq!(a.id().0 as usize, i, "alarm ids must be dense and ordered");
+            if a.id().0 as usize != i {
+                return Err(NonDenseIdError { expected: i as u64, got: a.id().0 });
+            }
         }
-        let mut tree = RStarTree::new();
+        Ok(AlarmIndex::build_dense(alarms, None))
+    }
+
+    /// Builds the index over dense-id `alarms`, bulk loading the tree
+    /// with every alarm whose id is in `inactive` left out (their
+    /// metadata stays addressable, exactly as if they had been installed
+    /// and then [`AlarmIndex::deactivate`]d). The snapshot merge path
+    /// uses this to fold accumulated deactivations into a rebuilt base
+    /// without paying one tree deletion per dead alarm.
+    pub(crate) fn build_dense(
+        alarms: Vec<SpatialAlarm>,
+        inactive: Option<&HashSet<AlarmId>>,
+    ) -> AlarmIndex {
+        debug_assert!(alarms.iter().enumerate().all(|(i, a)| a.id().0 as usize == i));
+        let entries: Vec<(Rect, AlarmId)> = alarms
+            .iter()
+            .filter(|a| inactive.is_none_or(|dead| !dead.contains(&a.id())))
+            .map(|a| (a.region(), a.id()))
+            .collect();
+        let tree = RStarTree::bulk_load(entries);
         let mut personal: HashMap<SubscriberId, Vec<AlarmId>> = HashMap::new();
         for a in &alarms {
-            tree.insert(a.region(), a.id());
             match a.scope() {
                 AlarmScope::Private { owner } => personal.entry(*owner).or_default().push(a.id()),
                 AlarmScope::Shared { subscribers, .. } => {
@@ -69,16 +126,14 @@ impl AlarmIndex {
         pos: Point,
         keep: F,
     ) -> (Option<f64>, QueryStats) {
-        let mut stats = QueryStats::default();
-        let public = self.tree.nearest_matching(pos, |id| {
+        // The probe's stats count whether or not it found a match — a
+        // fruitless nearest-neighbor walk is still server work the
+        // Figure 4(b)/6(d) load model must see.
+        let (public, mut stats) = self.tree.nearest_matching(pos, |id| {
             let a = self.alarm(*id);
             a.is_public() && keep(*id)
         });
-        let mut best: Option<f64> = None;
-        if let Some((_, _, d, s)) = public {
-            best = Some(d);
-            stats = s;
-        }
+        let mut best: Option<f64> = public.map(|(_, _, d)| d);
         for &id in self.personal_alarms(user) {
             stats.entries_tested += 1;
             if !keep(id) {
@@ -185,14 +240,26 @@ impl AlarmIndex {
     ///
     /// # Panics
     ///
-    /// Panics when the alarm's id is not `self.len()`.
+    /// Panics when the alarm's id is not `self.len()`. Callers facing
+    /// untrusted ids (the server's install path) use
+    /// [`AlarmIndex::try_install`] instead.
     pub fn install(&mut self, alarm: SpatialAlarm) {
-        assert_eq!(
-            alarm.id().0 as usize,
-            self.alarms.len(),
-            "alarm ids must stay dense: expected {}",
-            self.alarms.len()
-        );
+        self.try_install(alarm).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Installs a new alarm, rejecting an id that does not continue the
+    /// dense id space with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NonDenseIdError`] when the alarm's id is not `self.len()`.
+    pub fn try_install(&mut self, alarm: SpatialAlarm) -> Result<(), NonDenseIdError> {
+        if alarm.id().0 as usize != self.alarms.len() {
+            return Err(NonDenseIdError {
+                expected: self.alarms.len() as u64,
+                got: alarm.id().0,
+            });
+        }
         self.tree.insert(alarm.region(), alarm.id());
         match alarm.scope() {
             AlarmScope::Private { owner } => {
@@ -206,6 +273,7 @@ impl AlarmIndex {
             AlarmScope::Public { .. } => {}
         }
         self.alarms.push(alarm);
+        Ok(())
     }
 
     /// Removes an alarm from the spatial index (e.g., a cancelled alarm).
@@ -399,6 +467,29 @@ mod nearest_tests {
     }
 
     #[test]
+    fn nearest_stats_survive_a_fruitless_probe() {
+        // Predicate rejects everything: the probe returns None, but the
+        // traversal work it did must still be charged to the load model
+        // (the stats used to be dropped on this branch).
+        let mk = |id: u64, x: f64| {
+            SpatialAlarm::around_static_target(
+                AlarmId(id),
+                Point::new(x, 500.0),
+                50.0,
+                crate::AlarmScope::Public { owner: SubscriberId(0) },
+            )
+            .unwrap()
+        };
+        let index = AlarmIndex::build((0..6).map(|i| mk(i, 100.0 * i as f64)).collect());
+        let (none, stats) =
+            index.nearest_relevant_distance(SubscriberId(9), Point::new(0.0, 0.0), |_| false);
+        assert!(none.is_none());
+        assert!(stats.nodes_visited >= 1, "visited {}", stats.nodes_visited);
+        assert!(stats.entries_tested >= 6, "tested {}", stats.entries_tested);
+        assert_eq!(stats.matches, 0);
+    }
+
+    #[test]
     fn nearest_relevant_distance_respects_filter() {
         let universe = Rect::new(0.0, 0.0, 1_000.0, 1_000.0).unwrap();
         let mk = |id: u64, x: f64| {
@@ -487,5 +578,24 @@ mod install_tests {
     fn install_rejects_id_gaps() {
         let mut index = AlarmIndex::build(vec![public(0, 0.0, 0.0)]);
         index.install(public(7, 1.0, 1.0));
+    }
+
+    #[test]
+    fn try_install_reports_gapped_ids_without_panicking() {
+        let mut index = AlarmIndex::build(vec![public(0, 0.0, 0.0)]);
+        let err = index.try_install(public(7, 1.0, 1.0)).unwrap_err();
+        assert_eq!(err, NonDenseIdError { expected: 1, got: 7 });
+        assert!(err.to_string().contains("dense"));
+        assert_eq!(index.len(), 1, "a rejected install leaves the index untouched");
+        // The id space did not advance; the correct next id still works.
+        index.try_install(public(1, 1.0, 1.0)).unwrap();
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn try_build_reports_the_first_offending_id() {
+        let err =
+            AlarmIndex::try_build(vec![public(0, 0.0, 0.0), public(2, 1.0, 1.0)]).unwrap_err();
+        assert_eq!(err, NonDenseIdError { expected: 1, got: 2 });
     }
 }

@@ -18,7 +18,10 @@
 //!   replicating the paper's default setup (10,000 alarms uniform over the
 //!   universe, 10% public, private:shared = 2:1),
 //! - [`AlarmIndex`] — the server-side R*-tree over installed alarm regions
-//!   with per-subscriber relevance filtering.
+//!   with per-subscriber relevance filtering,
+//! - [`VersionedAlarmIndex`] — epoch-versioned copy-on-write generations
+//!   of the index, so trigger checks read lock-free while publishers
+//!   install and cancel alarms concurrently.
 //!
 //! # Example
 //!
@@ -50,8 +53,10 @@
 
 mod alarm;
 mod index;
+mod snapshot;
 mod workload;
 
 pub use alarm::{AlarmId, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
-pub use index::AlarmIndex;
+pub use index::{AlarmIndex, NonDenseIdError};
+pub use snapshot::{AlarmSnapshot, SnapshotCache, SnapshotCell, VersionedAlarmIndex};
 pub use workload::{AlarmWorkload, WorkloadConfig};

@@ -1,0 +1,597 @@
+//! Epoch-versioned copy-on-write snapshots of the alarm index.
+//!
+//! The paper's server model (§5.1) treats the alarm R*-tree as static, but
+//! production publishers install and cancel alarms continuously. Guarding
+//! the index with a reader-writer lock makes every install stall every
+//! shard's trigger checks. This module removes the contention:
+//!
+//! - [`VersionedAlarmIndex`] keeps the current generation as an immutable
+//!   [`AlarmSnapshot`] behind a [`SnapshotCell`]. Writers (installs,
+//!   deactivations) build the *next* generation — usually by cloning a
+//!   small delta fringe, occasionally by STR-bulk-rebuilding the base —
+//!   and publish it with an `Arc` swap plus an epoch bump.
+//! - Readers pin a generation via a per-thread [`SnapshotCache`]: the
+//!   steady state is a single atomic epoch load and a pointer deref — no
+//!   lock, no allocation — so trigger checks proceed at full speed during
+//!   sustained churn.
+//!
+//! A reader may observe a snapshot that is one publish stale. That is
+//! sound under the safe-region invariant: a *new* alarm only becomes
+//! eligible to fire after the server invalidates the safe regions it
+//! intersects (which happens on the writer side, after publish), and a
+//! *removed* alarm firing once more is indistinguishable from the race
+//! where the cancel arrived just after the trigger check.
+
+use crate::index::{AlarmIndex, NonDenseIdError};
+use crate::{AlarmId, SpatialAlarm, SubscriberId};
+use parking_lot::{Mutex, RwLock};
+use sa_geometry::{Point, Rect};
+use sa_index::QueryStats;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide counter handing each [`SnapshotCell`] a distinct identity,
+/// so a [`SnapshotCache`] carried across cells (e.g. a thread serving two
+/// servers in tests) never returns another cell's snapshot.
+static CELL_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A published, immutable value with an epoch counter. Readers that track
+/// the epoch in a [`SnapshotCache`] refresh only when a writer has
+/// published since their last load; otherwise the read is one atomic load.
+pub struct SnapshotCell<S> {
+    id: u64,
+    epoch: AtomicU64,
+    slot: RwLock<Arc<S>>,
+}
+
+impl<S> SnapshotCell<S> {
+    /// Wraps `initial` as the first published generation (epoch 1).
+    pub fn new(initial: S) -> SnapshotCell<S> {
+        SnapshotCell {
+            id: CELL_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(1),
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current publish count. Increases by one per [`SnapshotCell::publish`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones out the current generation (pins it for as long as the `Arc`
+    /// is held, regardless of later publishes).
+    pub fn load(&self) -> Arc<S> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// The hot-path read: returns the cached generation when the epoch is
+    /// unchanged (one atomic load, no lock, no allocation), refreshing the
+    /// cache from the slot otherwise.
+    pub fn load_cached<'a>(&self, cache: &'a mut SnapshotCache<S>) -> &'a S {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if cache.cell != self.id || cache.epoch != epoch || cache.snap.is_none() {
+            cache.snap = Some(self.load());
+            cache.cell = self.id;
+            cache.epoch = epoch;
+        }
+        cache.snap.as_deref().expect("cache was just refilled")
+    }
+
+    /// Non-blocking peek at the current generation: `None` only while a
+    /// writer is mid-publish. For contexts that must never block (`fmt`).
+    pub fn try_peek(&self) -> Option<Arc<S>> {
+        self.slot.try_read().as_deref().map(Arc::clone)
+    }
+
+    /// Publishes `next` as the new current generation and bumps the epoch.
+    /// The slot write lock is held only for the pointer swap.
+    pub fn publish(&self, next: Arc<S>) {
+        *self.slot.write() = next;
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for SnapshotCell<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("id", &self.id)
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-thread (or per-worker) cache of the last generation loaded from a
+/// [`SnapshotCell`]. Construct once with [`SnapshotCache::new`] — e.g. in
+/// a `thread_local!` — and pass to [`SnapshotCell::load_cached`].
+#[derive(Debug)]
+pub struct SnapshotCache<S> {
+    cell: u64,
+    epoch: u64,
+    snap: Option<Arc<S>>,
+}
+
+impl<S> SnapshotCache<S> {
+    /// An empty cache; the first `load_cached` through it always refreshes.
+    pub const fn new() -> SnapshotCache<S> {
+        SnapshotCache { cell: 0, epoch: 0, snap: None }
+    }
+}
+
+impl<S> Default for SnapshotCache<S> {
+    fn default() -> SnapshotCache<S> {
+        SnapshotCache::new()
+    }
+}
+
+/// One immutable generation of the alarm index: an STR-bulk-loaded base,
+/// a small ordered delta of alarms installed since the base was built
+/// (their ids continue the base's dense id space), and the set of alarm
+/// ids deactivated since. Queries consult all three; the delta and dead
+/// set are kept small by generation merges in [`VersionedAlarmIndex`].
+#[derive(Debug)]
+pub struct AlarmSnapshot {
+    base: Arc<AlarmIndex>,
+    delta: Vec<SpatialAlarm>,
+    dead: HashSet<AlarmId>,
+}
+
+impl AlarmSnapshot {
+    /// Number of installed alarms (deactivated alarms still count; their
+    /// metadata stays addressable, exactly like [`AlarmIndex::len`]).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// True when no alarms are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Alarm lookup by id (base or delta).
+    pub fn alarm(&self, id: AlarmId) -> &SpatialAlarm {
+        let base_len = self.base.len();
+        if (id.0 as usize) < base_len {
+            self.base.alarm(id)
+        } else {
+            &self.delta[id.0 as usize - base_len]
+        }
+    }
+
+    /// True unless `id` was deactivated in this generation. The common
+    /// case (nothing deactivated since the last merge) is one branch.
+    fn live(&self, id: AlarmId) -> bool {
+        self.dead.is_empty() || !self.dead.contains(&id)
+    }
+
+    /// Alarms relevant to `user` whose regions contain `pos` — the
+    /// trigger check, with traversal statistics.
+    pub fn relevant_at(&self, user: SubscriberId, pos: Point) -> (Vec<&SpatialAlarm>, QueryStats) {
+        let (hits, mut stats) = self.base.relevant_at(user, pos);
+        let mut hits: Vec<&SpatialAlarm> =
+            hits.into_iter().filter(|a| self.live(a.id())).collect();
+        for a in &self.delta {
+            stats.entries_tested += 1;
+            if self.live(a.id()) && a.is_relevant_to(user) && a.contains(pos) {
+                hits.push(a);
+            }
+        }
+        (hits, stats)
+    }
+
+    /// Visits each alarm relevant to `user` containing `pos` without
+    /// materializing a vector — the allocation-free trigger check the
+    /// shard workers run per position update.
+    pub fn relevant_at_visit(
+        &self,
+        user: SubscriberId,
+        pos: Point,
+        mut f: impl FnMut(&SpatialAlarm),
+    ) {
+        self.base.relevant_at_visit(user, pos, |a| {
+            if self.live(a.id()) {
+                f(a);
+            }
+        });
+        for a in &self.delta {
+            if self.live(a.id()) && a.is_relevant_to(user) && a.contains(pos) {
+                f(a);
+            }
+        }
+    }
+
+    /// Alarms relevant to `user` intersecting `area` — safe-region scoping.
+    pub fn relevant_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<&SpatialAlarm> {
+        self.relevant_intersecting_with_stats(user, area).0
+    }
+
+    /// Like [`AlarmSnapshot::relevant_intersecting`], with traversal stats.
+    pub fn relevant_intersecting_with_stats(
+        &self,
+        user: SubscriberId,
+        area: Rect,
+    ) -> (Vec<&SpatialAlarm>, QueryStats) {
+        let (hits, mut stats) = self.base.relevant_intersecting_with_stats(user, area);
+        let mut hits: Vec<&SpatialAlarm> =
+            hits.into_iter().filter(|a| self.live(a.id())).collect();
+        for a in &self.delta {
+            stats.entries_tested += 1;
+            if self.live(a.id()) && a.is_relevant_to(user) && a.region().intersects(&area) {
+                hits.push(a);
+            }
+        }
+        (hits, stats)
+    }
+
+    /// All alarms intersecting `area`, regardless of subscriber.
+    pub fn all_intersecting(&self, area: Rect) -> Vec<&SpatialAlarm> {
+        self.all_intersecting_with_stats(area).0
+    }
+
+    /// Like [`AlarmSnapshot::all_intersecting`], with traversal stats.
+    pub fn all_intersecting_with_stats(&self, area: Rect) -> (Vec<&SpatialAlarm>, QueryStats) {
+        let (hits, mut stats) = self.base.all_intersecting_with_stats(area);
+        let mut hits: Vec<&SpatialAlarm> =
+            hits.into_iter().filter(|a| self.live(a.id())).collect();
+        for a in &self.delta {
+            stats.entries_tested += 1;
+            if self.live(a.id()) && a.region().intersects(&area) {
+                hits.push(a);
+            }
+        }
+        (hits, stats)
+    }
+
+    /// Distance from `pos` to the nearest alarm relevant to `user`
+    /// passing `keep` — the safe-period baseline's core query. Dead
+    /// alarms are excluded everywhere, including the personal-list scan.
+    pub fn nearest_relevant_distance<F: Fn(AlarmId) -> bool>(
+        &self,
+        user: SubscriberId,
+        pos: Point,
+        keep: F,
+    ) -> (Option<f64>, QueryStats) {
+        let (mut best, mut stats) =
+            self.base.nearest_relevant_distance(user, pos, |id| self.live(id) && keep(id));
+        for a in &self.delta {
+            stats.entries_tested += 1;
+            if !self.live(a.id()) || !a.is_relevant_to(user) || !keep(a.id()) {
+                continue;
+            }
+            let d = a.region().distance_to_point(pos);
+            if best.is_none_or(|b| d < b) {
+                best = Some(d);
+            }
+        }
+        (best, stats)
+    }
+}
+
+/// How many delta entries (or dead ids) a generation tolerates before a
+/// writer folds them into a freshly bulk-loaded base. Small enough that
+/// the linear delta scan stays negligible next to a tree descent, large
+/// enough that rebuilds amortize.
+const DEFAULT_MERGE_THRESHOLD: usize = 64;
+
+/// Writer-side state, guarded by a mutex so installs and deactivations
+/// serialize (readers never touch this).
+#[derive(Debug)]
+struct WriterState {
+    /// Every id ever deactivated. Never cleared: generation merges reset
+    /// the snapshot's `dead` fringe, but a repeated deactivate must still
+    /// report `false`, and the next rebuild must still exclude these.
+    retired: HashSet<AlarmId>,
+}
+
+/// The churn-tolerant alarm index: an epoch-versioned sequence of
+/// immutable [`AlarmSnapshot`] generations. Readers pin a generation
+/// ([`VersionedAlarmIndex::snapshot`] or, on hot paths,
+/// [`VersionedAlarmIndex::load_cached`]) and query it lock-free; writers
+/// ([`VersionedAlarmIndex::try_install`],
+/// [`VersionedAlarmIndex::deactivate`]) serialize on an internal mutex,
+/// build the next generation, and publish it with an `Arc` swap.
+#[derive(Debug)]
+pub struct VersionedAlarmIndex {
+    cell: SnapshotCell<AlarmSnapshot>,
+    writer: Mutex<WriterState>,
+    merge_threshold: usize,
+}
+
+impl VersionedAlarmIndex {
+    /// Builds the first generation over `alarms` (STR bulk load).
+    ///
+    /// # Errors
+    ///
+    /// [`NonDenseIdError`] when ids are not exactly `0..alarms.len()`.
+    pub fn new(alarms: Vec<SpatialAlarm>) -> Result<VersionedAlarmIndex, NonDenseIdError> {
+        VersionedAlarmIndex::with_merge_threshold(alarms, DEFAULT_MERGE_THRESHOLD)
+    }
+
+    /// Like [`VersionedAlarmIndex::new`] with an explicit delta size at
+    /// which generations merge (tests use small values to force merges).
+    ///
+    /// # Errors
+    ///
+    /// [`NonDenseIdError`] when ids are not exactly `0..alarms.len()`.
+    pub fn with_merge_threshold(
+        alarms: Vec<SpatialAlarm>,
+        merge_threshold: usize,
+    ) -> Result<VersionedAlarmIndex, NonDenseIdError> {
+        let base = AlarmIndex::try_build(alarms)?;
+        Ok(VersionedAlarmIndex {
+            cell: SnapshotCell::new(AlarmSnapshot {
+                base: Arc::new(base),
+                delta: Vec::new(),
+                dead: HashSet::new(),
+            }),
+            writer: Mutex::new(WriterState { retired: HashSet::new() }),
+            merge_threshold: merge_threshold.max(1),
+        })
+    }
+
+    /// Pins and returns the current generation.
+    pub fn snapshot(&self) -> Arc<AlarmSnapshot> {
+        self.cell.load()
+    }
+
+    /// Hot-path read through a per-thread cache: no lock and no
+    /// allocation while the epoch is unchanged.
+    pub fn load_cached<'a>(&self, cache: &'a mut SnapshotCache<AlarmSnapshot>) -> &'a AlarmSnapshot {
+        self.cell.load_cached(cache)
+    }
+
+    /// Non-blocking peek for contexts that must never wait (`fmt`).
+    pub fn try_peek(&self) -> Option<Arc<AlarmSnapshot>> {
+        self.cell.try_peek()
+    }
+
+    /// The publish count (starts at 1, +1 per install/deactivate).
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Number of installed alarms in the current generation.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// True when no alarms are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installs `alarm` into the next generation and publishes it.
+    /// Readers holding the previous generation are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`NonDenseIdError`] when the alarm's id does not continue the
+    /// dense id space — the wire-reachable malformed-install case; the
+    /// server maps this to an error response instead of panicking.
+    pub fn try_install(&self, alarm: SpatialAlarm) -> Result<(), NonDenseIdError> {
+        let w = self.writer.lock();
+        let cur = self.cell.load();
+        let expected = cur.len() as u64;
+        if alarm.id().0 != expected {
+            return Err(NonDenseIdError { expected, got: alarm.id().0 });
+        }
+        let next = if cur.delta.len() + 1 >= self.merge_threshold {
+            let mut alarms: Vec<SpatialAlarm> = cur.base.alarms().to_vec();
+            alarms.extend(cur.delta.iter().cloned());
+            alarms.push(alarm);
+            AlarmSnapshot {
+                base: Arc::new(AlarmIndex::build_dense(alarms, Some(&w.retired))),
+                delta: Vec::new(),
+                dead: HashSet::new(),
+            }
+        } else {
+            let mut delta = cur.delta.clone();
+            delta.push(alarm);
+            AlarmSnapshot { base: Arc::clone(&cur.base), delta, dead: cur.dead.clone() }
+        };
+        self.cell.publish(Arc::new(next));
+        Ok(())
+    }
+
+    /// Deactivates alarm `id` in the next generation. Returns `false`
+    /// when the id is unknown or was already deactivated (matching
+    /// [`AlarmIndex::deactivate`]'s idempotence), `true` otherwise.
+    pub fn deactivate(&self, id: AlarmId) -> bool {
+        let mut w = self.writer.lock();
+        let cur = self.cell.load();
+        if id.0 as usize >= cur.len() {
+            return false;
+        }
+        if !w.retired.insert(id) {
+            return false;
+        }
+        let next = if cur.dead.len() + 1 >= self.merge_threshold {
+            let mut alarms: Vec<SpatialAlarm> = cur.base.alarms().to_vec();
+            alarms.extend(cur.delta.iter().cloned());
+            AlarmSnapshot {
+                base: Arc::new(AlarmIndex::build_dense(alarms, Some(&w.retired))),
+                delta: Vec::new(),
+                dead: HashSet::new(),
+            }
+        } else {
+            let mut dead = cur.dead.clone();
+            dead.insert(id);
+            AlarmSnapshot { base: Arc::clone(&cur.base), delta: cur.delta.clone(), dead }
+        };
+        self.cell.publish(Arc::new(next));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlarmScope;
+
+    fn public(id: u64, x: f64, y: f64) -> SpatialAlarm {
+        SpatialAlarm::around_static_target(
+            AlarmId(id),
+            Point::new(x, y),
+            100.0,
+            AlarmScope::Public { owner: SubscriberId(0) },
+        )
+        .unwrap()
+    }
+
+    fn private(id: u64, owner: u32, x: f64, y: f64) -> SpatialAlarm {
+        SpatialAlarm::around_static_target(
+            AlarmId(id),
+            Point::new(x, y),
+            100.0,
+            AlarmScope::Private { owner: SubscriberId(owner) },
+        )
+        .unwrap()
+    }
+
+    fn ids_at(snap: &AlarmSnapshot, user: u32, x: f64, y: f64) -> Vec<u64> {
+        let (hits, _) = snap.relevant_at(SubscriberId(user), Point::new(x, y));
+        let mut v: Vec<u64> = hits.iter().map(|a| a.id().0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn installs_appear_in_later_snapshots_only() {
+        let v = VersionedAlarmIndex::new(vec![public(0, 100.0, 100.0)]).unwrap();
+        let pinned = v.snapshot();
+        v.try_install(public(1, 100.0, 100.0)).unwrap();
+        assert_eq!(ids_at(&pinned, 9, 100.0, 100.0), vec![0], "pinned generation is frozen");
+        assert_eq!(ids_at(&v.snapshot(), 9, 100.0, 100.0), vec![0, 1]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn deactivations_filter_everywhere_including_personal_scan() {
+        let v = VersionedAlarmIndex::new(vec![
+            public(0, 100.0, 100.0),
+            private(1, 7, 100.0, 100.0),
+        ])
+        .unwrap();
+        assert!(v.deactivate(AlarmId(1)));
+        assert!(!v.deactivate(AlarmId(1)), "second deactivate is a no-op");
+        assert!(!v.deactivate(AlarmId(99)), "unknown ids are rejected");
+        let snap = v.snapshot();
+        assert_eq!(ids_at(&snap, 7, 100.0, 100.0), vec![0]);
+        // The nearest query must not see the dead personal alarm either.
+        let (d, _) =
+            snap.nearest_relevant_distance(SubscriberId(7), Point::new(100.0, 100.0), |_| true);
+        assert_eq!(ids_at(&snap, 7, 100.0, 100.0), vec![0]);
+        assert!(d.is_some(), "public alarm 0 still answers");
+        // Metadata stays addressable.
+        assert_eq!(snap.alarm(AlarmId(1)).id(), AlarmId(1));
+    }
+
+    #[test]
+    fn generations_merge_at_the_threshold_without_changing_answers() {
+        let v = VersionedAlarmIndex::with_merge_threshold(vec![public(0, 0.0, 0.0)], 3).unwrap();
+        for i in 1..10u64 {
+            v.try_install(public(i, 50.0 * i as f64, 50.0 * i as f64)).unwrap();
+        }
+        assert!(v.deactivate(AlarmId(4)));
+        let snap = v.snapshot();
+        assert_eq!(snap.len(), 10);
+        for i in 0..10u64 {
+            let p = Point::new(50.0 * i as f64, 50.0 * i as f64);
+            let (hits, _) = snap.relevant_at(SubscriberId(3), p);
+            let got: Vec<u64> = hits.iter().map(|a| a.id().0).collect();
+            assert_eq!(got.contains(&i), i != 4, "alarm {i} at its own center");
+        }
+        // A deactivate folded into a merged base stays deactivated, and
+        // re-deactivating it still reports false.
+        for i in 10..20u64 {
+            v.try_install(public(i, 50.0 * i as f64, 50.0 * i as f64)).unwrap();
+        }
+        assert!(!v.deactivate(AlarmId(4)));
+        let merged = v.snapshot();
+        let (hits, _) = merged.relevant_at(SubscriberId(3), Point::new(200.0, 200.0));
+        assert!(hits.iter().all(|a| a.id() != AlarmId(4)));
+    }
+
+    #[test]
+    fn install_rejects_gapped_ids_with_a_typed_error() {
+        let v = VersionedAlarmIndex::new(vec![public(0, 0.0, 0.0)]).unwrap();
+        let before = v.epoch();
+        let err = v.try_install(public(7, 1.0, 1.0)).unwrap_err();
+        assert_eq!(err, NonDenseIdError { expected: 1, got: 7 });
+        assert_eq!(v.epoch(), before, "a rejected install publishes nothing");
+        v.try_install(public(1, 1.0, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn cached_loads_refresh_only_on_publish() {
+        let v = VersionedAlarmIndex::new(vec![public(0, 0.0, 0.0)]).unwrap();
+        let mut cache = SnapshotCache::new();
+        let len_before = v.load_cached(&mut cache).len();
+        assert_eq!(len_before, 1);
+        // Unchanged epoch: the cache answers (same generation observable
+        // via the stored Arc pointer).
+        let first = Arc::clone(cache.snap.as_ref().unwrap());
+        let again = v.load_cached(&mut cache);
+        assert!(std::ptr::eq(again, first.as_ref()));
+        v.try_install(public(1, 10.0, 10.0)).unwrap();
+        assert_eq!(v.load_cached(&mut cache).len(), 2, "publish invalidates the cache");
+    }
+
+    #[test]
+    fn caches_never_leak_across_cells() {
+        let a = VersionedAlarmIndex::new(vec![public(0, 0.0, 0.0)]).unwrap();
+        let b = VersionedAlarmIndex::new(Vec::new()).unwrap();
+        let mut cache = SnapshotCache::new();
+        assert_eq!(a.load_cached(&mut cache).len(), 1);
+        // Same epoch value on both cells — the cell id must disambiguate.
+        assert_eq!(b.load_cached(&mut cache).len(), 0);
+        assert_eq!(a.load_cached(&mut cache).len(), 1);
+    }
+
+    #[test]
+    fn try_peek_only_fails_mid_publish() {
+        let v = VersionedAlarmIndex::new(vec![public(0, 0.0, 0.0)]).unwrap();
+        assert_eq!(v.try_peek().expect("no writer active").len(), 1);
+    }
+
+    #[test]
+    fn readers_pin_generations_across_concurrent_churn() {
+        let v = Arc::new(VersionedAlarmIndex::with_merge_threshold(Vec::new(), 8).unwrap());
+        let writer = {
+            let v = Arc::clone(&v);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    v.try_install(public(i, (i % 100) as f64 * 10.0, 500.0)).unwrap();
+                    if i % 3 == 0 {
+                        v.deactivate(AlarmId(i / 2));
+                    }
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    let mut cache = SnapshotCache::new();
+                    for k in 0..2_000u64 {
+                        let snap = v.load_cached(&mut cache);
+                        let p = Point::new((k % 100) as f64 * 10.0, 500.0);
+                        let (hits, _) = snap.relevant_at(SubscriberId(1), p);
+                        // Every hit must come from a consistent generation:
+                        // its id addressable, its region containing p.
+                        for a in &hits {
+                            assert!(a.contains(p));
+                            assert_eq!(snap.alarm(a.id()).id(), a.id());
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(v.len(), 500);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based equivalence: an epoch-pinned [`AlarmSnapshot`] must
+//! answer `relevant_at` / `relevant_intersecting` exactly like a fresh
+//! mutable [`AlarmIndex`] built from the same surviving alarm set, across
+//! randomized interleavings of install / deactivate / query — and a
+//! generation pinned mid-sequence must keep answering for the state it
+//! was pinned at, whatever churn follows.
+
+use proptest::prelude::*;
+use sa_alarms::{
+    AlarmId, AlarmIndex, AlarmScope, AlarmSnapshot, SpatialAlarm, SubscriberId,
+    VersionedAlarmIndex,
+};
+use sa_geometry::{Point, Rect};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Install an alarm centred at (x, y) with half-extent r; `scope`
+    /// picks public / private / shared, owned by `owner`.
+    Install { x: f64, y: f64, r: f64, scope: u8, owner: u32 },
+    /// Deactivate the k-th (mod current count) installed alarm.
+    Deactivate(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (50.0..950.0f64, 50.0..950.0f64, 5.0..80.0f64, 0u8..3, 0u32..4)
+            .prop_map(|(x, y, r, scope, owner)| Op::Install { x, y, r, scope, owner }),
+        1 => (0usize..64).prop_map(Op::Deactivate),
+    ]
+}
+
+fn make_alarm(id: u64, op: &Op) -> SpatialAlarm {
+    let Op::Install { x, y, r, scope, owner } = *op else { unreachable!() };
+    let owner_id = SubscriberId(owner);
+    let scope = match scope {
+        0 => AlarmScope::Public { owner: owner_id },
+        1 => AlarmScope::Private { owner: owner_id },
+        _ => AlarmScope::shared(owner_id, vec![SubscriberId(owner + 1)]),
+    };
+    SpatialAlarm::around_static_target(AlarmId(id), Point::new(x, y), r, scope).unwrap()
+}
+
+/// The mutable-path reference: build over every installed alarm, then
+/// replay the deactivations.
+fn reference(installed: &[SpatialAlarm], dead: &[AlarmId]) -> AlarmIndex {
+    let mut idx = AlarmIndex::build(installed.to_vec());
+    for &id in dead {
+        idx.deactivate(id);
+    }
+    idx
+}
+
+/// Deterministic probe set covering the op-generation area.
+fn probes() -> (Vec<Point>, Vec<Rect>) {
+    let points = (0..6)
+        .flat_map(|i| (0..6).map(move |j| Point::new(100.0 + i as f64 * 150.0, 100.0 + j as f64 * 150.0)))
+        .collect();
+    let rects = (0..4)
+        .map(|i| {
+            let min = 50.0 + i as f64 * 200.0;
+            Rect::new(min, min, min + 350.0, min + 350.0).unwrap()
+        })
+        .collect();
+    (points, rects)
+}
+
+fn verify(snap: &AlarmSnapshot, installed: &[SpatialAlarm], dead: &[AlarmId]) {
+    let refidx = reference(installed, dead);
+    assert_eq!(snap.len(), refidx.len());
+    let (points, rects) = probes();
+    for user in [SubscriberId(0), SubscriberId(2), SubscriberId(4)] {
+        for &p in &points {
+            let mut got: Vec<u64> = snap.relevant_at(user, p).0.iter().map(|a| a.id().0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                refidx.relevant_at(user, p).0.iter().map(|a| a.id().0).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "relevant_at diverged for user {user:?} at {p:?}");
+            // The visit-based form must agree with the materializing one.
+            let mut visited: Vec<u64> = Vec::new();
+            snap.relevant_at_visit(user, p, |a| visited.push(a.id().0));
+            visited.sort_unstable();
+            assert_eq!(visited, got, "relevant_at_visit diverged from relevant_at");
+        }
+        for &area in &rects {
+            let mut got: Vec<u64> =
+                snap.relevant_intersecting(user, area).iter().map(|a| a.id().0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                refidx.relevant_intersecting(user, area).iter().map(|a| a.id().0).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "relevant_intersecting diverged for user {user:?}");
+        }
+    }
+}
+
+fn run(ops: Vec<Op>, merge_threshold: usize) {
+    let v = VersionedAlarmIndex::with_merge_threshold(Vec::new(), merge_threshold).unwrap();
+    let mut installed: Vec<SpatialAlarm> = Vec::new();
+    let mut dead: Vec<AlarmId> = Vec::new();
+    // Pinned mid-sequence: the generation plus the state it saw.
+    let mut pinned: Option<(Arc<AlarmSnapshot>, Vec<SpatialAlarm>, Vec<AlarmId>)> = None;
+    let half = ops.len() / 2;
+    for (step, op) in ops.into_iter().enumerate() {
+        match op {
+            Op::Install { .. } => {
+                let alarm = make_alarm(installed.len() as u64, &op);
+                v.try_install(alarm.clone()).unwrap();
+                installed.push(alarm);
+            }
+            Op::Deactivate(k) => {
+                if installed.is_empty() {
+                    continue;
+                }
+                let id = AlarmId((k % installed.len()) as u64);
+                let first_time = !dead.contains(&id);
+                assert_eq!(v.deactivate(id), first_time, "deactivate({id:?}) idempotence");
+                if first_time {
+                    dead.push(id);
+                }
+            }
+        }
+        if step == half {
+            pinned = Some((v.snapshot(), installed.clone(), dead.clone()));
+        }
+    }
+    // The current generation answers like a fresh index over the
+    // surviving set...
+    verify(&v.snapshot(), &installed, &dead);
+    // ...and the mid-sequence pin still answers for the state it was
+    // pinned at, untouched by everything published since.
+    if let Some((snap, installed_then, dead_then)) = pinned {
+        verify(&snap, &installed_then, &dead_then);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_matches_fresh_index(ops in prop::collection::vec(arb_op(), 1..40)) {
+        run(ops, 64);
+    }
+
+    #[test]
+    fn snapshot_matches_fresh_index_across_merges(ops in prop::collection::vec(arb_op(), 1..40)) {
+        // A merge threshold of 3 forces repeated generation merges, so
+        // base rebuilds, delta scans, and the dead-set reset all happen
+        // inside most sequences.
+        run(ops, 3);
+    }
+}

@@ -1,0 +1,410 @@
+//! The alarm-index churn bench: how much does live install/deactivate
+//! traffic cost concurrent readers, and what does STR bulk loading buy
+//! at build time? Writes `BENCH_index_churn.json`.
+//!
+//! Two phases:
+//!
+//! 1. **Bulk load** — build the same R*-tree over N alarm rectangles
+//!    twice: once with [`RStarTree::bulk_load`] (Sort-Tile-Recursive
+//!    packing) and once with the one-at-a-time insert loop the index
+//!    used before. Reports both wall times and the speedup; at the
+//!    default 1M entries STR should be well over 5× faster because it
+//!    does one sort pass instead of a million top-down descents with
+//!    forced-reinsert churn.
+//!
+//! 2. **Churn** — a [`VersionedAlarmIndex`] serving the server's real
+//!    read mix through an epoch-cached snapshot: one grid-cell
+//!    `relevant_intersecting` (the read every MWPSR/PBSR/OPT
+//!    safe-region computation issues) followed by a point
+//!    `relevant_at_visit` trigger probe, timed as one query. The
+//!    p50/p99 per-query latency is measured twice — index quiescent,
+//!    then with a paced writer thread pushing install/deactivate ops
+//!    at `--churn-rate` per second. Readers never take a lock on the
+//!    steady path (one atomic epoch load per query), so the p99 ratio
+//!    between the two runs is the whole cost of snapshot churn: delta
+//!    scans, cache refreshes after each publish, and the memory
+//!    traffic of generation merges.
+//!
+//! Sweep usage:
+//! `index_churn [--alarms N] [--base N] [--churn-rate N]
+//!              [--merge-threshold N] [--seconds F] [--out PATH]`
+//!
+//! Gate usage (fails the run in place, for CI):
+//! `index_churn ... --min-bulk-speedup F --max-churn-ratio F`
+
+use sa_alarms::{
+    AlarmId, AlarmScope, SnapshotCache, SpatialAlarm, SubscriberId, VersionedAlarmIndex,
+};
+use sa_geometry::{Point, Rect};
+use sa_index::RStarTree;
+use sa_obs::Registry;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Universe edge in metres (100 km, matching the paper's road-network
+/// extent order of magnitude).
+const UNIVERSE_M: f64 = 100_000.0;
+
+struct Opts {
+    /// Entry count for the bulk-load-vs-insert-loop phase.
+    alarms: usize,
+    /// Alarm count the churn phase starts from.
+    base: usize,
+    /// Target write ops per second for the churn-on run.
+    churn_rate: u64,
+    /// Delta size that triggers a generation merge.
+    merge_threshold: usize,
+    /// Wall seconds of query traffic per churn mode.
+    seconds: f64,
+    out: PathBuf,
+    min_bulk_speedup: f64,
+    max_churn_ratio: f64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        alarms: 1_000_000,
+        base: 20_000,
+        churn_rate: 10_000,
+        merge_threshold: 64,
+        seconds: 3.0,
+        out: PathBuf::from("BENCH_index_churn.json"),
+        min_bulk_speedup: f64::NEG_INFINITY,
+        max_churn_ratio: f64::INFINITY,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+        match flag.as_str() {
+            "--alarms" => opts.alarms = value().parse().expect("--alarms expects an integer"),
+            "--base" => opts.base = value().parse().expect("--base expects an integer"),
+            "--churn-rate" => {
+                opts.churn_rate = value().parse().expect("--churn-rate expects an integer");
+            }
+            "--merge-threshold" => {
+                opts.merge_threshold =
+                    value().parse().expect("--merge-threshold expects an integer");
+            }
+            "--seconds" => opts.seconds = value().parse().expect("--seconds expects a float"),
+            "--out" => opts.out = PathBuf::from(value()),
+            "--min-bulk-speedup" => {
+                opts.min_bulk_speedup =
+                    value().parse().expect("--min-bulk-speedup expects a float");
+            }
+            "--max-churn-ratio" => {
+                opts.max_churn_ratio =
+                    value().parse().expect("--max-churn-ratio expects a float");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: index_churn [--alarms N] [--base N] [--churn-rate N] \
+                     [--merge-threshold N] [--seconds F] [--out PATH] \
+                     [--min-bulk-speedup F] [--max-churn-ratio F]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(opts.alarms > 0, "--alarms must be positive");
+    assert!(opts.base > 0, "--base must be positive");
+    assert!(opts.churn_rate > 0, "--churn-rate must be positive");
+    assert!(opts.merge_threshold > 0, "--merge-threshold must be positive");
+    assert!(opts.seconds > 0.0, "--seconds must be positive");
+    opts
+}
+
+/// Deterministic xorshift stream, so both tree builds and both churn
+/// runs see identical geometry.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in [lo, hi).
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn alarm_rect(rng: &mut Rng) -> Rect {
+    let half = rng.range(20.0, 250.0);
+    let cx = rng.range(half, UNIVERSE_M - half);
+    let cy = rng.range(half, UNIVERSE_M - half);
+    Rect::new(cx - half, cy - half, cx + half, cy + half).expect("generated rect is valid")
+}
+
+fn alarm(id: u64, rng: &mut Rng) -> SpatialAlarm {
+    let region = alarm_rect(rng);
+    let owner = SubscriberId((rng.next() % 8) as u32);
+    // Mostly public so reader probes do real tree work; a private tail
+    // keeps the per-subscriber path warm too.
+    let scope = if rng.next() % 4 == 0 {
+        AlarmScope::Private { owner }
+    } else {
+        AlarmScope::Public { owner }
+    };
+    SpatialAlarm::around_static_target(AlarmId(id), region.center(), region.width() / 2.0, scope)
+        .expect("generated alarm is valid")
+}
+
+/// Phase 1: STR bulk load vs the insert loop over identical entries.
+fn bulk_phase(n: usize) -> (f64, f64) {
+    let mut rng = Rng(0x0BAD_5EED_0000_0001);
+    let entries: Vec<(Rect, u64)> = (0..n).map(|i| (alarm_rect(&mut rng), i as u64)).collect();
+
+    let started = Instant::now();
+    let bulk: RStarTree<u64> = RStarTree::bulk_load(entries.clone());
+    let bulk_s = started.elapsed().as_secs_f64();
+    assert_eq!(bulk.len(), n);
+
+    let started = Instant::now();
+    let mut grown: RStarTree<u64> = RStarTree::new();
+    for &(rect, id) in &entries {
+        grown.insert(rect, id);
+    }
+    let insert_s = started.elapsed().as_secs_f64();
+    assert_eq!(grown.len(), n);
+
+    // Same answers on a spot-check query, so neither timing is of a
+    // broken build.
+    let probe = Rect::new(40_000.0, 40_000.0, 42_000.0, 42_000.0).unwrap();
+    let mut a: Vec<u64> = bulk.search_intersecting(probe).into_iter().copied().collect();
+    let mut b: Vec<u64> = grown.search_intersecting(probe).into_iter().copied().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "bulk-loaded and insert-grown trees disagree");
+    (bulk_s, insert_s)
+}
+
+/// One churn-phase measurement: per-read-kind latency quantiles over
+/// `seconds` of probes, with an optional paced writer alongside. The
+/// region read (one grid cell of `relevant_intersecting`) is the
+/// gated number — it is what every safe-region computation pays; the
+/// point trigger probe is reported alongside.
+struct ChurnRun {
+    queries: u64,
+    region_p50_ns: u64,
+    region_p99_ns: u64,
+    probe_p50_ns: u64,
+    probe_p99_ns: u64,
+    write_ops: u64,
+    achieved_rate: f64,
+}
+
+fn churn_run(
+    index: &VersionedAlarmIndex,
+    next_id: &AtomicU64,
+    seconds: f64,
+    churn_rate: Option<u64>,
+) -> ChurnRun {
+    let registry = Registry::new();
+    let region_hist = registry.histogram("index_churn_region_read_ns");
+    let probe_hist = registry.histogram("index_churn_trigger_probe_ns");
+    let stop = AtomicBool::new(false);
+    let write_ops = AtomicU64::new(0);
+    let deadline = Duration::from_secs_f64(seconds);
+
+    let mut queries = 0u64;
+    let mut achieved_rate = 0.0;
+    std::thread::scope(|scope| {
+        if let Some(rate) = churn_rate {
+            let achieved = &mut achieved_rate;
+            let (stop, write_ops) = (&stop, &write_ops);
+            scope.spawn(move || {
+                // Paced writer: batches of ops against a wall-clock
+                // schedule, alternating installs with deactivates of a
+                // pseudo-random live id.
+                let mut rng = Rng(0xC0FF_EE00_DEAD_0003);
+                let batch = 64u64.min(rate);
+                let started = Instant::now();
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for k in 0..batch {
+                        if k % 2 == 0 {
+                            let id = next_id.fetch_add(1, Ordering::Relaxed);
+                            index
+                                .try_install(alarm(id, &mut rng))
+                                .expect("writer ids are dense by construction");
+                        } else {
+                            let live = next_id.load(Ordering::Relaxed);
+                            index.deactivate(AlarmId(rng.next() % live));
+                        }
+                    }
+                    done += batch;
+                    write_ops.store(done, Ordering::Relaxed);
+                    // Sleep off any lead over the schedule.
+                    let due = Duration::from_secs_f64(done as f64 / rate as f64);
+                    let elapsed = started.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                *achieved = done as f64 / started.elapsed().as_secs_f64();
+            });
+        }
+
+        let mut cache: SnapshotCache<sa_alarms::AlarmSnapshot> = SnapshotCache::new();
+        let mut rng = Rng(0xFACE_0FF0_0000_0002);
+        let mut sink = 0usize;
+        const CELL_M: f64 = 1_000.0;
+        let cells = (UNIVERSE_M / CELL_M) as u64;
+        // Unrecorded warmup: fault in the index pages and warm the
+        // allocator so the measured tail is churn, not cold-start.
+        let warmup = Instant::now();
+        while warmup.elapsed() < deadline.mul_f64(0.15) {
+            let p = Point::new(rng.range(0.0, UNIVERSE_M), rng.range(0.0, UNIVERSE_M));
+            let snap = index.load_cached(&mut cache);
+            snap.relevant_at_visit(SubscriberId(0), p, |_| sink += 1);
+        }
+        let started = Instant::now();
+        while started.elapsed() < deadline {
+            let user = SubscriberId((rng.next() % 8) as u32);
+            // One safe-region cell read plus one trigger probe inside
+            // it — the per-update alarm-index traffic of a live server.
+            let (cx, cy) = (rng.next() % cells, rng.next() % cells);
+            let cell = Rect::new(
+                cx as f64 * CELL_M,
+                cy as f64 * CELL_M,
+                (cx + 1) as f64 * CELL_M,
+                (cy + 1) as f64 * CELL_M,
+            )
+            .expect("grid cells are valid rects");
+            let p = Point::new(
+                rng.range(cell.min_x(), cell.max_x()),
+                rng.range(cell.min_y(), cell.max_y()),
+            );
+            let q = Instant::now();
+            let snap = index.load_cached(&mut cache);
+            sink += snap.relevant_intersecting(user, cell).len();
+            region_hist.record_duration(q.elapsed());
+            let q = Instant::now();
+            let snap = index.load_cached(&mut cache);
+            snap.relevant_at_visit(user, p, |_| sink += 1);
+            probe_hist.record_duration(q.elapsed());
+            queries += 2;
+        }
+        stop.store(true, Ordering::Relaxed);
+        // Keep the probe loop from being optimized away.
+        assert!(sink < usize::MAX);
+    });
+
+    let region = region_hist.snapshot();
+    let probe = probe_hist.snapshot();
+    ChurnRun {
+        queries,
+        region_p50_ns: region.p50,
+        region_p99_ns: region.p99,
+        probe_p50_ns: probe.p50,
+        probe_p99_ns: probe.p99,
+        write_ops: write_ops.load(Ordering::Relaxed),
+        achieved_rate,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+
+    eprintln!("bulk phase: {} entries, STR vs insert loop", opts.alarms);
+    let (bulk_s, insert_s) = bulk_phase(opts.alarms);
+    let speedup = insert_s / bulk_s.max(1e-9);
+    eprintln!("  bulk {bulk_s:.3}s, insert loop {insert_s:.3}s ({speedup:.1}× speedup)");
+
+    eprintln!(
+        "churn phase: {} base alarms, merge threshold {}, {:.1}s per mode",
+        opts.base, opts.merge_threshold, opts.seconds
+    );
+    let mut rng = Rng(0x5EED_0000_0000_0004);
+    let base: Vec<SpatialAlarm> = (0..opts.base).map(|i| alarm(i as u64, &mut rng)).collect();
+    let index = VersionedAlarmIndex::with_merge_threshold(base, opts.merge_threshold)
+        .expect("base ids are dense by construction");
+    let next_id = AtomicU64::new(opts.base as u64);
+
+    let quiet = churn_run(&index, &next_id, opts.seconds, None);
+    eprintln!(
+        "  churn off: {} reads, region p50 {}ns p99 {}ns, probe p50 {}ns p99 {}ns",
+        quiet.queries,
+        quiet.region_p50_ns,
+        quiet.region_p99_ns,
+        quiet.probe_p50_ns,
+        quiet.probe_p99_ns
+    );
+    let churned = churn_run(&index, &next_id, opts.seconds, Some(opts.churn_rate));
+    eprintln!(
+        "  churn on:  {} reads, region p50 {}ns p99 {}ns, probe p50 {}ns p99 {}ns \
+         ({} write ops, {:.0}/s achieved)",
+        churned.queries,
+        churned.region_p50_ns,
+        churned.region_p99_ns,
+        churned.probe_p50_ns,
+        churned.probe_p99_ns,
+        churned.write_ops,
+        churned.achieved_rate
+    );
+    let ratio = churned.region_p99_ns as f64 / (quiet.region_p99_ns as f64).max(1.0);
+    let probe_ratio = churned.probe_p99_ns as f64 / (quiet.probe_p99_ns as f64).max(1.0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bulk_load\": {{");
+    let _ = writeln!(json, "    \"alarms\": {},", opts.alarms);
+    let _ = writeln!(json, "    \"bulk_seconds\": {bulk_s:.6},");
+    let _ = writeln!(json, "    \"insert_loop_seconds\": {insert_s:.6},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"churn\": {{");
+    let _ = writeln!(json, "    \"base_alarms\": {},", opts.base);
+    let _ = writeln!(json, "    \"merge_threshold\": {},", opts.merge_threshold);
+    let _ = writeln!(json, "    \"seconds_per_mode\": {},", opts.seconds);
+    let _ = writeln!(json, "    \"target_write_ops_per_sec\": {},", opts.churn_rate);
+    let _ = writeln!(json, "    \"achieved_write_ops_per_sec\": {:.0},", churned.achieved_rate);
+    let _ = writeln!(json, "    \"write_ops\": {},", churned.write_ops);
+    let _ = writeln!(json, "    \"reads_off\": {},", quiet.queries);
+    let _ = writeln!(json, "    \"reads_on\": {},", churned.queries);
+    let _ = writeln!(json, "    \"region_p50_off_ns\": {},", quiet.region_p50_ns);
+    let _ = writeln!(json, "    \"region_p99_off_ns\": {},", quiet.region_p99_ns);
+    let _ = writeln!(json, "    \"region_p50_on_ns\": {},", churned.region_p50_ns);
+    let _ = writeln!(json, "    \"region_p99_on_ns\": {},", churned.region_p99_ns);
+    let _ = writeln!(json, "    \"probe_p50_off_ns\": {},", quiet.probe_p50_ns);
+    let _ = writeln!(json, "    \"probe_p99_off_ns\": {},", quiet.probe_p99_ns);
+    let _ = writeln!(json, "    \"probe_p50_on_ns\": {},", churned.probe_p50_ns);
+    let _ = writeln!(json, "    \"probe_p99_on_ns\": {},", churned.probe_p99_ns);
+    let _ = writeln!(json, "    \"probe_p99_ratio\": {probe_ratio:.3},");
+    let _ = writeln!(json, "    \"p99_ratio\": {ratio:.3}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&opts.out, &json).expect("writing the churn report");
+    println!(
+        "bulk speedup {speedup:.1}×; churn-on region-read p99 {}ns = {ratio:.2}× \
+         churn-off {}ns → {}",
+        churned.region_p99_ns,
+        quiet.region_p99_ns,
+        opts.out.display()
+    );
+
+    let mut failed = false;
+    if speedup < opts.min_bulk_speedup {
+        eprintln!(
+            "BULK LOAD REGRESSION: STR speedup {speedup:.2}× fell below the floor {:.2}×",
+            opts.min_bulk_speedup
+        );
+        failed = true;
+    }
+    if ratio > opts.max_churn_ratio {
+        eprintln!(
+            "CHURN REGRESSION: churn-on region-read p99 is {ratio:.2}× the quiescent p99, \
+             above the ceiling {:.2}× — snapshot publishes are bleeding into the read path",
+            opts.max_churn_ratio
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

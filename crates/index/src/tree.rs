@@ -86,6 +86,59 @@ impl<T> RStarTree<T> {
         self.insert_pendings(vec![Pending::Leaf(LeafEntry { rect, item })]);
     }
 
+    /// Bulk loads a tree from `entries` with default parameters — see
+    /// [`RStarTree::bulk_load_with_params`].
+    pub fn bulk_load(entries: Vec<(Rect, T)>) -> RStarTree<T> {
+        RStarTree::bulk_load_with_params(RStarParams::default(), entries)
+    }
+
+    /// Builds a tree over `entries` in one pass with Sort-Tile-Recursive
+    /// (STR) packing: entries are sorted by center x, tiled into vertical
+    /// slabs, each slab sorted by center y and cut into full nodes, then
+    /// the node MBRs are packed the same way level by level until a
+    /// single root remains.
+    ///
+    /// The result satisfies every invariant [`RStarTree::check_invariants`]
+    /// enforces — in particular the tail node of each level borrows
+    /// entries from its predecessor rather than underflowing `min_entries`
+    /// — and its height is the minimum possible for the fan-out,
+    /// `ceil(log_M(n))` levels. Loading n entries costs O(n log n) total
+    /// versus O(n log² n) rectangle comparisons for n repeated inserts,
+    /// and skips all forced-reinsert / split churn, which is what makes
+    /// startup at millions of alarms cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are inconsistent (see [`RStarParams`]).
+    pub fn bulk_load_with_params(params: RStarParams, entries: Vec<(Rect, T)>) -> RStarTree<T> {
+        params.validate();
+        let size = entries.len();
+        if size == 0 {
+            return RStarTree::with_params(params);
+        }
+        let leaves: Vec<LeafEntry<T>> =
+            entries.into_iter().map(|(rect, item)| LeafEntry { rect, item }).collect();
+        let mut nodes: Vec<Node<T>> =
+            str_tile(leaves, |e| e.rect, &params).into_iter().map(Node::Leaf).collect();
+        let mut root_level = 0usize;
+        while nodes.len() > 1 {
+            let children: Vec<ChildEntry<T>> = nodes
+                .into_iter()
+                .map(|child| {
+                    let rect = child.mbr().expect("packed nodes are non-empty");
+                    ChildEntry { rect, child: Box::new(child) }
+                })
+                .collect();
+            nodes = str_tile(children, |e| e.rect, &params)
+                .into_iter()
+                .map(Node::Internal)
+                .collect();
+            root_level += 1;
+        }
+        let root = nodes.pop().expect("packing always leaves a root");
+        RStarTree { root, root_level, size, params }
+    }
+
     /// Removes one entry whose rectangle equals `rect` and whose item
     /// satisfies `pred`, returning the item. Under-full nodes are condensed
     /// and their surviving entries reinserted, per the classic deletion
@@ -180,13 +233,15 @@ impl<T> RStarTree<T> {
     /// The stored entry nearest to `p` (by rectangle distance, 0 when `p`
     /// is inside a rectangle), or `None` on an empty tree.
     pub fn nearest(&self, p: Point) -> Option<(Rect, &T, f64)> {
-        self.nearest_matching(p, |_| true).map(|(r, t, d, _)| (r, t, d))
+        self.nearest_matching(p, |_| true).0
     }
 
     /// Best-first nearest-neighbor search restricted to items satisfying
     /// `pred` — e.g. "relevant to this subscriber and not yet fired", the
-    /// safe-period baseline's distance query. Returns the entry, its
-    /// distance, and the traversal statistics.
+    /// safe-period baseline's distance query. Returns the entry with its
+    /// distance (or `None` when nothing matches), and the traversal
+    /// statistics — reported in **both** cases, so a fruitless probe
+    /// still charges its tree walk to the server-load model.
     ///
     /// Entries failing `pred` are skipped but still counted in
     /// [`QueryStats::entries_tested`]; when the predicate is sparse the
@@ -195,7 +250,7 @@ impl<T> RStarTree<T> {
         &self,
         p: Point,
         pred: F,
-    ) -> Option<(Rect, &T, f64, QueryStats)> {
+    ) -> (Option<(Rect, &T, f64)>, QueryStats) {
         use std::collections::BinaryHeap;
 
         enum Item<'a, T> {
@@ -234,7 +289,7 @@ impl<T> RStarTree<T> {
 
         let mut stats = QueryStats::default();
         if self.is_empty() {
-            return None;
+            return (None, stats);
         }
         let mut counter = 0u64;
         let mut heap: BinaryHeap<HeapEntry<'_, T>> = BinaryHeap::new();
@@ -243,7 +298,7 @@ impl<T> RStarTree<T> {
             match item {
                 Item::Entry(rect, value) => {
                     stats.matches += 1;
-                    return Some((rect, value, dist, stats));
+                    return (Some((rect, value, dist)), stats);
                 }
                 Item::Node(node) => {
                     stats.nodes_visited += 1;
@@ -276,7 +331,7 @@ impl<T> RStarTree<T> {
                 }
             }
         }
-        None
+        (None, stats)
     }
 
     /// Visits every stored `(rect, item)` pair in unspecified order.
@@ -546,6 +601,71 @@ fn choose_subtree_min_area<T>(es: &[ChildEntry<T>], rect: Rect) -> usize {
         }
     }
     best
+}
+
+/// Splits `n` entries into node-sized chunks, every chunk within
+/// `[min, max]`: full `max`-sized chunks, with the tail borrowing from its
+/// predecessor when the remainder alone would underflow. (Borrowing is
+/// always legal: the donor keeps `max - (min - remainder) ≥ max - min ≥
+/// min` entries because `min ≤ max / 2`.) For `n ≤ max` the single chunk
+/// becomes the root, which is exempt from the minimum.
+fn packed_sizes(n: usize, max: usize, min: usize) -> Vec<usize> {
+    if n <= max {
+        return vec![n];
+    }
+    let full = n / max;
+    let remainder = n % max;
+    let mut sizes = vec![max; full];
+    if remainder >= min {
+        sizes.push(remainder);
+    } else if remainder > 0 {
+        let borrow = min - remainder;
+        *sizes.last_mut().expect("n > max implies a full chunk") -= borrow;
+        sizes.push(min);
+    }
+    sizes
+}
+
+/// One STR tiling pass: groups `items` into node-sized chunks whose sizes
+/// come from [`packed_sizes`], tiled by center x into vertical slabs and by
+/// center y within each slab.
+fn str_tile<E>(
+    mut items: Vec<E>,
+    rect_of: impl Fn(&E) -> Rect,
+    params: &RStarParams,
+) -> Vec<Vec<E>> {
+    let n = items.len();
+    let node_sizes = packed_sizes(n, params.max_entries, params.min_entries);
+    let node_count = node_sizes.len();
+    if node_count == 1 {
+        return vec![items];
+    }
+    items.sort_by(|a, b| {
+        let (ca, cb) = (rect_of(a).center(), rect_of(b).center());
+        ca.x.partial_cmp(&cb.x).expect("rect coordinates are finite")
+    });
+    // ceil(sqrt(P)) slabs of whole nodes, so every node keeps its packed
+    // size and no slab ends in an underfull fragment.
+    let slab_count = (node_count as f64).sqrt().ceil() as usize;
+    let nodes_per_slab = node_count.div_ceil(slab_count);
+    let mut groups: Vec<Vec<E>> = Vec::with_capacity(node_count);
+    let mut items = items.into_iter();
+    let mut next_node = 0usize;
+    while next_node < node_count {
+        let slab_nodes = &node_sizes[next_node..(next_node + nodes_per_slab).min(node_count)];
+        let slab_len: usize = slab_nodes.iter().sum();
+        let mut slab: Vec<E> = items.by_ref().take(slab_len).collect();
+        slab.sort_by(|a, b| {
+            let (ca, cb) = (rect_of(a).center(), rect_of(b).center());
+            ca.y.partial_cmp(&cb.y).expect("rect coordinates are finite")
+        });
+        let mut slab = slab.into_iter();
+        for &size in slab_nodes {
+            groups.push(slab.by_ref().take(size).collect());
+        }
+        next_node += slab_nodes.len();
+    }
+    groups
 }
 
 fn search_rec<'a, T>(
@@ -825,7 +945,8 @@ mod nearest_tests {
     fn filtered_nearest_skips_non_matching() {
         let tree = scattered(300);
         let p = Point::new(500.0, 500.0);
-        let (_, &item, d, stats) = tree.nearest_matching(p, |&i| i % 7 == 3).unwrap();
+        let (hit, stats) = tree.nearest_matching(p, |&i| i % 7 == 3);
+        let (_, &item, d) = hit.unwrap();
         assert_eq!(item % 7, 3);
         // Verify against brute force over the filtered subset.
         let mut best = f64::INFINITY;
@@ -841,18 +962,118 @@ mod nearest_tests {
     #[test]
     fn filtered_nearest_with_impossible_predicate_is_none() {
         let tree = scattered(64);
-        assert!(tree.nearest_matching(Point::new(1.0, 1.0), |_| false).is_none());
+        let (hit, stats) = tree.nearest_matching(Point::new(1.0, 1.0), |_| false);
+        assert!(hit.is_none());
+        // The fruitless probe still reports the work it did: every entry
+        // was tested against the predicate before the search gave up.
+        assert!(stats.entries_tested >= 64, "tested {}", stats.entries_tested);
+        assert!(stats.nodes_visited >= 1);
+        assert_eq!(stats.matches, 0);
     }
 
     #[test]
     fn nearest_visits_fewer_nodes_than_full_scan() {
         let tree = scattered(1000);
-        let (_, _, _, stats) = tree
-            .nearest_matching(Point::new(250.0, 250.0), |_| true)
-            .unwrap();
+        let (_, stats) = tree.nearest_matching(Point::new(250.0, 250.0), |_| true);
         // Best-first search should prune most of the tree: a 1000-entry
         // tree at fanout 8 has > 125 nodes, the search should touch far
         // fewer.
         assert!(stats.nodes_visited < 60, "visited {}", stats.nodes_visited);
+    }
+}
+
+#[cfg(test)]
+mod bulk_tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d).unwrap()
+    }
+
+    fn scattered_entries(n: usize) -> Vec<(Rect, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 7919) % 1000) as f64;
+                let y = ((i * 104729) % 1000) as f64;
+                (r(x, y, x + 10.0, y + 10.0), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let empty: RStarTree<u8> = RStarTree::bulk_load(Vec::new());
+        assert!(empty.is_empty());
+        empty.check_invariants().unwrap();
+        let one = RStarTree::bulk_load(vec![(r(0.0, 0.0, 1.0, 1.0), 9u8)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.height(), 1);
+        one.check_invariants().unwrap();
+        assert_eq!(one.search_point(Point::new(0.5, 0.5)), vec![&9]);
+    }
+
+    #[test]
+    fn bulk_load_answers_match_insert_loop() {
+        for n in [5usize, 32, 33, 100, 257, 1000] {
+            let params = RStarParams::with_max_entries(8);
+            let bulk = RStarTree::bulk_load_with_params(params, scattered_entries(n));
+            bulk.check_invariants().unwrap();
+            let mut loop_built = RStarTree::with_params(params);
+            for (rect, item) in scattered_entries(n) {
+                loop_built.insert(rect, item);
+            }
+            let query = r(100.0, 100.0, 600.0, 600.0);
+            let mut a: Vec<usize> = bulk.search_intersecting(query).into_iter().copied().collect();
+            let mut b: Vec<usize> =
+                loop_built.search_intersecting(query).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "bulk vs loop divergence at n={n}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_height_is_minimal() {
+        for n in [50usize, 64, 65, 512, 513, 4096] {
+            let params = RStarParams::with_max_entries(8);
+            let tree = RStarTree::bulk_load_with_params(params, scattered_entries(n));
+            // Minimum height: enough levels that M^height >= n.
+            let mut min_height = 1usize;
+            let mut capacity = params.max_entries;
+            while capacity < n {
+                capacity *= params.max_entries;
+                min_height += 1;
+            }
+            assert_eq!(tree.height(), min_height, "n={n}");
+            tree.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_later_mutations() {
+        let mut tree =
+            RStarTree::bulk_load_with_params(RStarParams::with_max_entries(8), scattered_entries(200));
+        tree.insert(r(5000.0, 5000.0, 5010.0, 5010.0), 777);
+        assert_eq!(tree.len(), 201);
+        assert_eq!(tree.search_point(Point::new(5005.0, 5005.0)), vec![&777]);
+        let victim = scattered_entries(1)[0].0;
+        assert_eq!(tree.remove(victim, |&i| i == 0), Some(0));
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 200);
+    }
+
+    #[test]
+    fn packed_sizes_respect_fill_bounds() {
+        for n in 1..600usize {
+            for (max, min) in [(8usize, 3usize), (32, 13), (4, 2)] {
+                let sizes = packed_sizes(n, max, min);
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+                if sizes.len() > 1 {
+                    for &s in &sizes {
+                        assert!(s >= min && s <= max, "n={n} max={max} min={min} size={s}");
+                    }
+                }
+            }
+        }
     }
 }

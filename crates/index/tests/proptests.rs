@@ -117,6 +117,53 @@ proptest! {
     }
 
     #[test]
+    fn bulk_load_is_equivalent_to_the_insert_loop(
+        rects in prop::collection::vec(arb_rect(), 0..400),
+        queries in prop::collection::vec(arb_rect(), 1..8),
+    ) {
+        let params = RStarParams::with_max_entries(8);
+        let bulk: RStarTree<usize> =
+            RStarTree::bulk_load_with_params(params, rects.iter().copied().enumerate().map(|(i, r)| (r, i)).collect());
+        bulk.check_invariants().expect("bulk-loaded invariants");
+        prop_assert_eq!(bulk.len(), rects.len());
+
+        let mut grown: RStarTree<usize> = RStarTree::with_params(params);
+        for (i, r) in rects.iter().enumerate() {
+            grown.insert(*r, i);
+        }
+        // Same answers on arbitrary range queries and on every entry's
+        // own rectangle and center point.
+        for q in queries.iter().chain(rects.iter().take(5)) {
+            let mut a: Vec<usize> = bulk.search_intersecting(*q).into_iter().copied().collect();
+            a.sort_unstable();
+            let mut b: Vec<usize> = grown.search_intersecting(*q).into_iter().copied().collect();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "range answers diverged on {:?}", q);
+        }
+        for r in rects.iter().take(5) {
+            let p = r.center();
+            let mut a: Vec<usize> = bulk.search_point(p).into_iter().copied().collect();
+            a.sort_unstable();
+            let mut b: Vec<usize> = grown.search_point(p).into_iter().copied().collect();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "point answers diverged at {:?}", p);
+        }
+        // STR packs full nodes: the height is the minimum the fan-out
+        // admits (never worse than the insert-grown tree's).
+        if !rects.is_empty() {
+            let max = 8usize;
+            let mut min_height = 1usize;
+            let mut capacity = max;
+            while capacity < rects.len() {
+                capacity *= max;
+                min_height += 1;
+            }
+            prop_assert_eq!(bulk.height(), min_height, "bulk height is not minimal");
+            prop_assert!(bulk.height() <= grown.height());
+        }
+    }
+
+    #[test]
     fn query_stats_are_consistent(rects in prop::collection::vec(arb_rect(), 1..200), q in arb_rect()) {
         let mut tree: RStarTree<usize> = RStarTree::new();
         for (i, r) in rects.iter().enumerate() {

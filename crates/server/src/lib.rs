@@ -41,7 +41,8 @@
 //!            + retry → degraded → resync → steady resilience machine
 //! transport ─ InProc | Tcp, both framing through the wire codec
 //! server  ── router + sessions; LocationUpdate → bounded shard queues
-//! shard   ── ShardIndex (global↔local alarm ids) + ShardPool workers
+//! shard   ── VersionedShardIndex (global↔local alarm ids, epoch-
+//!            versioned snapshots) + ShardPool workers
 //! cache   ── (cell, height) → public bitmap, epoch-invalidated
 //! wire    ── Request/Response codec, sizes == sa-sim payload constants
 //! ```
@@ -71,6 +72,6 @@ pub use replay::{
 };
 pub use sa_obs::TraceMode;
 pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
-pub use shard::{shard_of_index, ShardIndex, ShardPool};
+pub use shard::{shard_of_index, ShardIndex, ShardPool, ShardSnapshot, VersionedShardIndex};
 pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};
 pub use wire::{CellRange, Request, Response, SessionState, StrategySpec, WireError};

@@ -10,20 +10,28 @@
 //! behind a slow shard.
 //!
 //! Lock discipline: workers and the router take at most one lock at a
-//! time, except the safe-period path which holds `global_index.read()`
-//! and `fired.read()` together; no writer ever takes a second lock, so
-//! no cycle exists.
+//! time. Alarm-index reads never lock at all — workers pin an
+//! epoch-versioned snapshot through a per-thread cache (see
+//! [`sa_alarms::VersionedAlarmIndex`]) and query it while the install
+//! path publishes the next generation; no writer ever takes a second
+//! lock, so no cycle exists.
 
 use crate::arena::ReplyPool;
 use crate::cache::{CacheStats, RegionCache};
 use crate::clock::{SharedClock, SystemClock};
-use crate::shard::{shard_of_index, Job, JobPayload, ShardIndex, ShardPool, ShardUpdate, SubmitError};
+use crate::shard::{
+    shard_of_index, Job, JobPayload, ShardPool, ShardSnapshot, ShardUpdate, SubmitError,
+    VersionedShardIndex,
+};
 use crate::wire::{
     dequantize_m, quantize_m, unpack_motion, BatchReply, BatchedUpdate, CellRange, Request,
     Response, SessionState, StrategySpec, TraceCtxExt, SEQ_MASK,
 };
 use parking_lot::RwLock;
-use sa_alarms::{AlarmId, AlarmIndex, AlarmScope, AlarmTarget, SpatialAlarm, SubscriberId};
+use sa_alarms::{
+    AlarmId, AlarmScope, AlarmSnapshot, AlarmTarget, SnapshotCache, SpatialAlarm, SubscriberId,
+    VersionedAlarmIndex,
+};
 use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
 use sa_geometry::{CellId, Grid, Point, Rect};
 use sa_obs::{
@@ -40,6 +48,15 @@ thread_local! {
     /// across updates so the steady-state case (no triggering alarms)
     /// never touches the heap.
     static TRIGGER_SCRATCH: RefCell<Vec<AlarmId>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread pinned generation of the worker's shard index. While no
+    /// install/deactivate has published, a refresh is one atomic epoch
+    /// load — no lock, no allocation.
+    static SHARD_SNAP: RefCell<SnapshotCache<ShardSnapshot>> =
+        const { RefCell::new(SnapshotCache::new()) };
+    /// Per-thread pinned generation of the global alarm index (the
+    /// safe-period nearest-distance path).
+    static GLOBAL_SNAP: RefCell<SnapshotCache<AlarmSnapshot>> =
+        const { RefCell::new(SnapshotCache::new()) };
 }
 
 /// Error codes carried by [`Response::Error`].
@@ -256,11 +273,12 @@ struct Core {
     v_max: f64,
     num_shards: usize,
     /// Global index (dense ids) — safe-period nearest-distance queries
-    /// must see every alarm, wherever it lives.
-    global_index: RwLock<AlarmIndex>,
+    /// must see every alarm, wherever it lives. Epoch-versioned: readers
+    /// pin snapshots, installs publish new generations.
+    global_index: VersionedAlarmIndex,
     /// Shard-local indexes over the alarms intersecting each shard's
-    /// cells.
-    shard_indexes: Vec<RwLock<ShardIndex>>,
+    /// cells, each epoch-versioned like the global index.
+    shard_indexes: Vec<VersionedShardIndex>,
     /// (subscriber, alarm) pairs that already fired — alarms fire once.
     fired: RwLock<HashSet<(SubscriberId, AlarmId)>>,
     sessions: SessionTable,
@@ -310,10 +328,15 @@ pub struct Server {
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server")
-            .field("num_shards", &self.core.num_shards)
-            .field("alarms", &self.core.global_index.read().len())
-            .finish()
+        let mut s = f.debug_struct("Server");
+        s.field("num_shards", &self.core.num_shards);
+        // fmt must never block: debug-logging a server while a writer is
+        // mid-publish degrades to a placeholder instead of deadlocking.
+        match self.core.global_index.try_peek() {
+            Some(snap) => s.field("alarms", &snap.len()),
+            None => s.field("alarms", &"<locked>"),
+        };
+        s.finish()
     }
 }
 
@@ -388,10 +411,10 @@ impl Server {
         let core = Arc::new(Core {
             num_shards: config.num_shards,
             v_max,
-            global_index: RwLock::new(AlarmIndex::build(alarms)),
+            global_index: VersionedAlarmIndex::new(alarms).unwrap_or_else(|e| panic!("{e}")),
             shard_indexes: per_shard
                 .iter()
-                .map(|owned| RwLock::new(ShardIndex::build(owned)))
+                .map(|owned| VersionedShardIndex::build(owned))
                 .collect(),
             fired: RwLock::new(HashSet::new()),
             sessions: SessionTable::new(),
@@ -901,15 +924,14 @@ impl Server {
             AlarmTarget::Static(center),
             scope,
         );
-        {
-            let mut global = self.core.global_index.write();
-            if alarm.id().0 as usize != global.len() {
-                return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
-            }
-            global.install(alarm.clone());
+        // A gapped or out-of-order id is a malformed (wire-reachable)
+        // frame: reject it with a typed error mapped to a response, never
+        // a panic on a worker or router thread.
+        if self.core.global_index.try_install(alarm.clone()).is_err() {
+            return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
         }
         for shard in self.core.shards_of_region(region) {
-            self.core.shard_indexes[shard].write().install(&alarm);
+            self.core.shard_indexes[shard].install(&alarm);
         }
         self.core.bump_cells(region);
         self.core.tracer.event(self.core.num_shards, "install", alarm.id().0, session as u64);
@@ -924,17 +946,17 @@ impl Server {
         }
         let id = AlarmId(alarm as u64);
         let region = {
-            let global = self.core.global_index.read();
+            let global = self.core.global_index.snapshot();
             if id.0 as usize >= global.len() {
                 return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
             }
             global.alarm(id).region()
         };
-        if !self.core.global_index.write().deactivate(id) {
+        if !self.core.global_index.deactivate(id) {
             return vec![Response::Error { seq, code: error_code::UNKNOWN_ALARM }];
         }
         for shard in self.core.shards_of_region(region) {
-            self.core.shard_indexes[shard].write().deactivate(id);
+            self.core.shard_indexes[shard].deactivate(id);
         }
         self.core.bump_cells(region);
         self.core.tracer.event(self.core.num_shards, "remove", id.0, session as u64);
@@ -979,6 +1001,25 @@ pub fn quantize_rect(rect: Rect) -> [u32; 4] {
 impl Core {
     fn session_exists(&self, session: u32) -> bool {
         self.sessions.contains(session)
+    }
+
+    /// Runs `f` against this thread's pinned generation of `shard`'s
+    /// index. Steady state (no publish since the last call on this
+    /// thread) is one atomic load — no lock, no allocation.
+    fn with_shard_snapshot<R>(&self, shard: usize, f: impl FnOnce(&ShardSnapshot) -> R) -> R {
+        SHARD_SNAP.with(|c| {
+            let mut cache = c.borrow_mut();
+            f(self.shard_indexes[shard].load_cached(&mut cache))
+        })
+    }
+
+    /// Runs `f` against this thread's pinned generation of the global
+    /// alarm index.
+    fn with_global_snapshot<R>(&self, f: impl FnOnce(&AlarmSnapshot) -> R) -> R {
+        GLOBAL_SNAP.with(|c| {
+            let mut cache = c.borrow_mut();
+            f(self.global_index.load_cached(&mut cache))
+        })
     }
 
     /// Records the member's dispatch span for one routed update. Its id
@@ -1320,15 +1361,15 @@ impl Core {
         // Server-side trigger check against the shard-local index; the
         // triggering alarm contains `pos`, hence intersects `cell`, hence
         // is owned by this shard. Hits land in a per-thread scratch
-        // buffer, so the steady-state case (no triggering alarms) takes
-        // the index read lock, finds nothing, and never allocates — and
-        // the `fired` write lock is not taken at all.
+        // buffer, so the steady-state case (no triggering alarms) queries
+        // the pinned snapshot lock-free, finds nothing, and never
+        // allocates — and the `fired` write lock is not taken at all.
         let fired_now = TRIGGER_SCRATCH.with(|scratch| {
             let mut triggering = scratch.borrow_mut();
             triggering.clear();
-            self.shard_indexes[shard]
-                .read()
-                .for_each_triggering(user, pos, |id| triggering.push(id));
+            self.with_shard_snapshot(shard, |snap| {
+                snap.for_each_triggering(user, pos, |id| triggering.push(id));
+            });
             if triggering.is_empty() {
                 return false;
             }
@@ -1356,7 +1397,7 @@ impl Core {
         match strategy {
             StrategySpec::Mwpsr => {
                 let candidates =
-                    self.shard_indexes[shard].read().relevant_intersecting(user, cell_rect);
+                    self.with_shard_snapshot(shard, |s| s.relevant_intersecting(user, cell_rect));
                 let fired = self.fired_for(user);
                 let obstacles: Vec<Rect> = candidates
                     .iter()
@@ -1414,7 +1455,8 @@ impl Core {
             }
             StrategySpec::Opt => {
                 let started_ns = self.clock.now_ns();
-                let views = self.shard_indexes[shard].read().all_intersecting(user, cell_rect);
+                let views =
+                    self.with_shard_snapshot(shard, |s| s.all_intersecting(user, cell_rect));
                 let fired = self.fired_for(user);
                 self.metrics.region_computations.inc();
                 let alarms = views
@@ -1443,10 +1485,9 @@ impl Core {
                 self.metrics.region_computations.inc();
                 let started_ns = self.clock.now_ns();
                 let fired = self.fired_for(user);
-                let (nearest, _) = self
-                    .global_index
-                    .read()
-                    .nearest_relevant_distance(user, pos, |id| !fired.contains(&id));
+                let (nearest, _) = self.with_global_snapshot(|g| {
+                    g.nearest_relevant_distance(user, pos, |id| !fired.contains(&id))
+                });
                 let universe = self.grid.universe();
                 let max_extent = universe.width().max(universe.height()) * 2.0;
                 let period_s = nearest.unwrap_or(max_extent) / self.v_max;
@@ -1482,7 +1523,7 @@ impl Core {
         height: u32,
         trace: u64,
     ) -> sa_core::BitmapSafeRegion {
-        let views = self.shard_indexes[shard].read().relevant_intersecting(user, cell_rect);
+        let views = self.with_shard_snapshot(shard, |s| s.relevant_intersecting(user, cell_rect));
         let fired = self.fired_for(user);
         let personal_unfired: Vec<Rect> = views
             .iter()

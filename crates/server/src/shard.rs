@@ -16,10 +16,11 @@
 use crate::clock::SharedClock;
 use crate::wire::{Request, Response};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use sa_alarms::{AlarmId, AlarmIndex, SpatialAlarm, SubscriberId};
+use parking_lot::Mutex;
+use sa_alarms::{AlarmId, AlarmIndex, SnapshotCache, SnapshotCell, SpatialAlarm, SubscriberId};
 use sa_geometry::{Point, Rect};
 use sa_obs::{Counter, Gauge, Registry};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -57,17 +58,22 @@ pub struct ShardIndex {
 }
 
 impl ShardIndex {
-    /// Builds the index over the given (globally-labelled) alarms.
+    /// Builds the index over the given (globally-labelled) alarms in one
+    /// STR bulk load (relabelling to dense local ids first).
     pub fn build(alarms: &[SpatialAlarm]) -> ShardIndex {
-        let mut shard = ShardIndex {
-            index: AlarmIndex::build(Vec::new()),
-            to_global: Vec::new(),
-            from_global: HashMap::new(),
-        };
-        for alarm in alarms {
-            shard.install(alarm);
-        }
-        shard
+        let mut to_global = Vec::with_capacity(alarms.len());
+        let mut from_global = HashMap::with_capacity(alarms.len());
+        let local_alarms: Vec<SpatialAlarm> = alarms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let local = AlarmId(i as u64);
+                to_global.push(a.id());
+                from_global.insert(a.id(), local);
+                SpatialAlarm::new(local, a.region(), a.target(), a.scope().clone())
+            })
+            .collect();
+        ShardIndex { index: AlarmIndex::build(local_alarms), to_global, from_global }
     }
 
     /// Adds one alarm (next dense local id).
@@ -104,6 +110,22 @@ impl ShardIndex {
 
     fn global(&self, local: AlarmId) -> AlarmId {
         self.to_global[local.0 as usize]
+    }
+
+    /// True when this shard tracks the given global id.
+    pub fn owns(&self, global: AlarmId) -> bool {
+        self.from_global.contains_key(&global)
+    }
+
+    /// Reconstructs the shard's alarms with their **global** ids — the
+    /// input `build` would need to reproduce this shard. Used by the
+    /// versioned layer's generation merges.
+    fn global_alarms(&self) -> Vec<SpatialAlarm> {
+        self.index
+            .alarms()
+            .iter()
+            .map(|a| SpatialAlarm::new(self.global(a.id()), a.region(), a.target(), a.scope().clone()))
+            .collect()
     }
 
     /// Global ids of the relevant alarms whose regions *strictly* contain
@@ -155,6 +177,211 @@ impl ShardIndex {
                 relevant: a.is_relevant_to(user),
             })
             .collect()
+    }
+}
+
+/// One immutable generation of a shard's index: a bulk-loaded
+/// [`ShardIndex`] base plus a small delta of globally-labelled alarms
+/// installed since, and the global ids deactivated since. The shard
+/// worker's trigger checks read a pinned generation lock-free while the
+/// install path builds the next one.
+#[derive(Debug)]
+pub struct ShardSnapshot {
+    base: Arc<ShardIndex>,
+    delta: Vec<SpatialAlarm>,
+    dead: HashSet<AlarmId>,
+}
+
+impl ShardSnapshot {
+    /// Number of alarms this generation tracks (base + delta; alarms
+    /// dropped by a generation merge no longer count).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// True when the generation tracks no alarms.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True unless `global` was deactivated in this generation.
+    fn live(&self, global: AlarmId) -> bool {
+        self.dead.is_empty() || !self.dead.contains(&global)
+    }
+
+    fn owns(&self, global: AlarmId) -> bool {
+        self.base.owns(global) || self.delta.iter().any(|a| a.id() == global)
+    }
+
+    /// Visits the global id of every relevant alarm triggering at `pos`
+    /// without allocating — the worker hot path. See
+    /// [`ShardIndex::for_each_triggering`].
+    pub fn for_each_triggering(&self, user: SubscriberId, pos: Point, mut f: impl FnMut(AlarmId)) {
+        self.base.for_each_triggering(user, pos, |gid| {
+            if self.live(gid) {
+                f(gid);
+            }
+        });
+        for a in &self.delta {
+            if self.live(a.id()) && a.is_relevant_to(user) && a.triggers_at(pos) {
+                f(a.id());
+            }
+        }
+    }
+
+    /// Global ids of the relevant alarms triggering at `pos` (allocating
+    /// convenience over [`ShardSnapshot::for_each_triggering`]).
+    pub fn triggering_at(&self, user: SubscriberId, pos: Point) -> Vec<AlarmId> {
+        let mut out = Vec::new();
+        self.for_each_triggering(user, pos, |id| out.push(id));
+        out
+    }
+
+    /// Views of the alarms relevant to `user` intersecting `area`.
+    pub fn relevant_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<AlarmView> {
+        let mut views: Vec<AlarmView> = self
+            .base
+            .relevant_intersecting(user, area)
+            .into_iter()
+            .filter(|v| self.live(v.id))
+            .collect();
+        for a in &self.delta {
+            if self.live(a.id()) && a.is_relevant_to(user) && a.region().intersects(&area) {
+                views.push(AlarmView {
+                    id: a.id(),
+                    region: a.region(),
+                    public: a.is_public(),
+                    relevant: true,
+                });
+            }
+        }
+        views
+    }
+
+    /// Views of **all** alarms intersecting `area`, with per-user
+    /// relevance flags.
+    pub fn all_intersecting(&self, user: SubscriberId, area: Rect) -> Vec<AlarmView> {
+        let mut views: Vec<AlarmView> = self
+            .base
+            .all_intersecting(user, area)
+            .into_iter()
+            .filter(|v| self.live(v.id))
+            .collect();
+        for a in &self.delta {
+            if self.live(a.id()) && a.region().intersects(&area) {
+                views.push(AlarmView {
+                    id: a.id(),
+                    region: a.region(),
+                    public: a.is_public(),
+                    relevant: a.is_relevant_to(user),
+                });
+            }
+        }
+        views
+    }
+}
+
+/// How many delta entries (or dead ids) a shard generation tolerates
+/// before the writer folds them into a rebuilt (bulk-loaded) base.
+const SHARD_MERGE_THRESHOLD: usize = 64;
+
+/// Epoch-versioned shard index: the churn-tolerant wrapper the server
+/// mounts per shard. Readers pin a [`ShardSnapshot`] generation through a
+/// per-thread [`SnapshotCache`] (lock-free, allocation-free on the steady
+/// state); [`VersionedShardIndex::install`] and
+/// [`VersionedShardIndex::deactivate`] serialize on an internal mutex and
+/// publish the next generation with an `Arc` swap.
+#[derive(Debug)]
+pub struct VersionedShardIndex {
+    cell: SnapshotCell<ShardSnapshot>,
+    /// Global ids ever deactivated (never cleared: generation merges drop
+    /// the dead fringe, and repeated deactivates must stay no-ops).
+    retired: Mutex<HashSet<AlarmId>>,
+    merge_threshold: usize,
+}
+
+impl VersionedShardIndex {
+    /// Builds the first generation over the given globally-labelled
+    /// alarms (one STR bulk load).
+    pub fn build(alarms: &[SpatialAlarm]) -> VersionedShardIndex {
+        VersionedShardIndex::with_merge_threshold(alarms, SHARD_MERGE_THRESHOLD)
+    }
+
+    /// Like [`VersionedShardIndex::build`] with an explicit merge
+    /// threshold (tests use small values to force generation merges).
+    pub fn with_merge_threshold(
+        alarms: &[SpatialAlarm],
+        merge_threshold: usize,
+    ) -> VersionedShardIndex {
+        VersionedShardIndex {
+            cell: SnapshotCell::new(ShardSnapshot {
+                base: Arc::new(ShardIndex::build(alarms)),
+                delta: Vec::new(),
+                dead: HashSet::new(),
+            }),
+            retired: Mutex::new(HashSet::new()),
+            merge_threshold: merge_threshold.max(1),
+        }
+    }
+
+    /// Pins and returns the current generation.
+    pub fn snapshot(&self) -> Arc<ShardSnapshot> {
+        self.cell.load()
+    }
+
+    /// Hot-path read through a per-thread cache: no lock and no
+    /// allocation while no writer has published.
+    pub fn load_cached<'a>(&self, cache: &'a mut SnapshotCache<ShardSnapshot>) -> &'a ShardSnapshot {
+        self.cell.load_cached(cache)
+    }
+
+    /// Adds one globally-labelled alarm to the next generation.
+    pub fn install(&self, alarm: &SpatialAlarm) {
+        let retired = self.retired.lock();
+        let cur = self.cell.load();
+        let next = if cur.delta.len() + 1 >= self.merge_threshold {
+            let mut alarms = cur.base.global_alarms();
+            alarms.extend(cur.delta.iter().cloned());
+            alarms.push(alarm.clone());
+            alarms.retain(|a| !retired.contains(&a.id()));
+            ShardSnapshot {
+                base: Arc::new(ShardIndex::build(&alarms)),
+                delta: Vec::new(),
+                dead: HashSet::new(),
+            }
+        } else {
+            let mut delta = cur.delta.clone();
+            delta.push(alarm.clone());
+            ShardSnapshot { base: Arc::clone(&cur.base), delta, dead: cur.dead.clone() }
+        };
+        self.cell.publish(Arc::new(next));
+    }
+
+    /// Deactivates an alarm by global id in the next generation. Returns
+    /// false when this shard never owned it or it was already
+    /// deactivated.
+    pub fn deactivate(&self, global: AlarmId) -> bool {
+        let mut retired = self.retired.lock();
+        let cur = self.cell.load();
+        if !cur.owns(global) || !retired.insert(global) {
+            return false;
+        }
+        let next = if cur.dead.len() + 1 >= self.merge_threshold {
+            let mut alarms = cur.base.global_alarms();
+            alarms.extend(cur.delta.iter().cloned());
+            alarms.retain(|a| !retired.contains(&a.id()));
+            ShardSnapshot {
+                base: Arc::new(ShardIndex::build(&alarms)),
+                delta: Vec::new(),
+                dead: HashSet::new(),
+            }
+        } else {
+            let mut dead = cur.dead.clone();
+            dead.insert(global);
+            ShardSnapshot { base: Arc::clone(&cur.base), delta: cur.delta.clone(), dead }
+        };
+        self.cell.publish(Arc::new(next));
+        true
     }
 }
 
@@ -483,6 +710,50 @@ mod tests {
         assert!(!shard.deactivate(AlarmId(7)), "second deactivation is a no-op");
         assert!(!shard.deactivate(AlarmId(99)), "unknown ids are not owned");
         assert!(shard.triggering_at(SubscriberId(9), Point::new(50.0, 50.0)).is_empty());
+    }
+
+    #[test]
+    fn versioned_shard_pins_generations_and_tracks_churn() {
+        let v = VersionedShardIndex::with_merge_threshold(&[alarm(7, 0.0, true)], 3);
+        let pinned = v.snapshot();
+        // Churn past the merge threshold with sparse global ids.
+        for (i, min) in [(20u64, 1_000.0), (31, 2_000.0), (55, 3_000.0), (90, 4_000.0)] {
+            v.install(&alarm(i, min, true));
+        }
+        assert!(v.deactivate(AlarmId(31)));
+        assert!(!v.deactivate(AlarmId(31)), "second deactivation is a no-op");
+        assert!(!v.deactivate(AlarmId(999)), "unknown ids are not owned");
+        // The pinned generation still answers from before the churn.
+        assert_eq!(pinned.triggering_at(SubscriberId(9), Point::new(50.0, 50.0)), vec![AlarmId(7)]);
+        assert!(pinned.triggering_at(SubscriberId(9), Point::new(2_050.0, 2_050.0)).is_empty());
+        // The current generation sees installs minus the deactivation.
+        let cur = v.snapshot();
+        assert_eq!(cur.triggering_at(SubscriberId(9), Point::new(1_050.0, 1_050.0)), vec![AlarmId(20)]);
+        assert!(cur.triggering_at(SubscriberId(9), Point::new(2_050.0, 2_050.0)).is_empty());
+        let area = Rect::new(0.0, 0.0, 10_000.0, 10_000.0).unwrap();
+        let views = cur.relevant_intersecting(SubscriberId(9), area);
+        let mut ids: Vec<u64> = views.iter().map(|view| view.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![7, 20, 55, 90]);
+        assert_eq!(cur.all_intersecting(SubscriberId(9), area).len(), 4);
+    }
+
+    #[test]
+    fn versioned_shard_cached_reads_survive_merges() {
+        let v = VersionedShardIndex::with_merge_threshold(&[], 2);
+        let mut cache = SnapshotCache::new();
+        assert!(v.load_cached(&mut cache).is_empty());
+        for i in 0..20u64 {
+            v.install(&alarm(i * 3, i as f64 * 500.0, i % 2 == 0));
+        }
+        let snap = v.load_cached(&mut cache);
+        assert_eq!(snap.len(), 20);
+        // A deactivate folded through a merge stays deactivated.
+        assert!(v.deactivate(AlarmId(0)));
+        assert!(v
+            .load_cached(&mut cache)
+            .triggering_at(SubscriberId(5), Point::new(50.0, 50.0))
+            .is_empty());
     }
 
     #[test]

@@ -1,16 +1,22 @@
-//! Known-bad frame corpus for the wire codec.
+//! Known-bad frame corpus for the wire protocol.
 //!
 //! Every rejection branch of `Request::decode` / `Response::decode` has
 //! a named corpus case: a byte frame committed under `tests/corpus/`
-//! plus the exact [`WireError`] it must produce. The table-driven test
-//! keeps the directory and the table in lockstep — a frame on disk with
-//! no table entry (or vice versa) fails the test, so a new rejection
-//! branch cannot land without a named corpus case.
+//! plus the exact [`WireError`] it must produce. Frames that *decode*
+//! but must be rejected by the server (e.g. an install with a gapped
+//! alarm id) are corpus cases too, carrying the `Response::Error` code
+//! the live server must answer with instead of panicking. The
+//! table-driven test keeps the directory and the table in lockstep — a
+//! frame on disk with no table entry (or vice versa) fails the test, so
+//! a new rejection branch cannot land without a named corpus case.
 //!
 //! `regenerate_corpus` (ignored by default) rewrites the directory from
 //! the table: `cargo test -p sa-server --test wire_corpus -- --ignored`.
 
-use sa_server::wire::{Request, Response, WireError};
+use sa_geometry::{Grid, Rect};
+use sa_server::server::error_code;
+use sa_server::wire::{Request, Response, StrategySpec, WireError};
+use sa_server::{Server, ServerConfig};
 use std::path::PathBuf;
 
 /// Which decoder the frame is aimed at.
@@ -20,12 +26,25 @@ enum Direction {
     Response,
 }
 
+/// What must happen to the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expected {
+    /// The decoder itself rejects the bytes.
+    Wire(WireError),
+    /// The bytes decode into a valid request, but a live server must
+    /// answer it with `Response::Error { code }` — never a panic.
+    ServerError {
+        /// The expected [`error_code`] value.
+        code: u32,
+    },
+}
+
 struct Case {
     /// File name under `tests/corpus/` (also names the branch).
     name: &'static str,
     direction: Direction,
     bytes: Vec<u8>,
-    expected: WireError,
+    expected: Expected,
 }
 
 /// A frame head word: type nibble + 28-bit sequence.
@@ -43,9 +62,11 @@ fn frame(words: &[u32], tail: &[u8]) -> Vec<u8> {
     out
 }
 
-/// The full corpus: one case per rejection branch in `wire.rs`.
+/// The full corpus: one case per rejection branch in `wire.rs`, plus
+/// decodable-but-server-rejected frames.
 fn corpus() -> Vec<Case> {
     use Direction::{Request as Req, Response as Resp};
+    use Expected::{ServerError, Wire};
     // Request types: 0=resync 1=hello 2=location 3=notify 4=install
     // 5=remove 6=bye 7=stats 8=batch. Response types: 2=batch 7=stats
     // 8=ack 9=rect 10=bitmap 11=push 12=delivery 13=grant 14=overloaded
@@ -55,13 +76,13 @@ fn corpus() -> Vec<Case> {
             name: "req_empty_truncated",
             direction: Req,
             bytes: vec![],
-            expected: WireError::Truncated,
+            expected: Wire(WireError::Truncated),
         },
         Case {
             name: "req_short_head_truncated",
             direction: Req,
             bytes: vec![1, 2],
-            expected: WireError::Truncated,
+            expected: Wire(WireError::Truncated),
         },
         Case {
             name: "req_unknown_type",
@@ -69,94 +90,94 @@ fn corpus() -> Vec<Case> {
             // 14 and 15 are the last unallocated request-direction
             // nibbles (9–13 became the federation control messages).
             bytes: frame(&[head(14, 0)], &[]),
-            expected: WireError::UnknownType(14),
+            expected: Wire(WireError::UnknownType(14)),
         },
         Case {
             name: "req_trailing_bytes",
             direction: Req,
             bytes: frame(&[head(6, 1)], &[0xAA]),
-            expected: WireError::Malformed("trailing bytes"),
+            expected: Wire(WireError::Malformed("trailing bytes")),
         },
         Case {
             name: "req_hello_unknown_strategy_tag",
             direction: Req,
             bytes: frame(&[head(1, 1), 7, 99, 0], &[]),
-            expected: WireError::Malformed("unknown strategy tag"),
+            expected: Wire(WireError::Malformed("unknown strategy tag")),
         },
         Case {
             name: "req_hello_pyramid_height_zero",
             direction: Req,
             bytes: frame(&[head(1, 1), 7, 1, 0], &[]),
-            expected: WireError::Malformed("pyramid height out of range"),
+            expected: Wire(WireError::Malformed("pyramid height out of range")),
         },
         Case {
             name: "req_hello_pyramid_height_huge",
             direction: Req,
             bytes: frame(&[head(1, 1), 7, 1, 17], &[]),
-            expected: WireError::Malformed("pyramid height out of range"),
+            expected: Wire(WireError::Malformed("pyramid height out of range")),
         },
         Case {
             name: "req_install_truncated_rect",
             direction: Req,
             bytes: frame(&[head(4, 3), 42, 0, 10, 20], &[]),
-            expected: WireError::Truncated,
+            expected: Wire(WireError::Truncated),
         },
         Case {
             name: "req_batch_count_mismatch",
             direction: Req,
             // Claims two 20-byte entries, carries one.
             bytes: frame(&[head(8, 1), 2, 5, 1, 10, 20, 0], &[]),
-            expected: WireError::Malformed("batch length mismatch"),
+            expected: Wire(WireError::Malformed("batch length mismatch")),
         },
         Case {
             name: "req_batch_entry_seq_overflow",
             direction: Req,
             bytes: frame(&[head(8, 1), 1, 5, u32::MAX, 10, 20, 0], &[]),
-            expected: WireError::Malformed("entry sequence overflows 28 bits"),
+            expected: Wire(WireError::Malformed("entry sequence overflows 28 bits")),
         },
         Case {
             name: "resp_short_head_truncated",
             direction: Resp,
             bytes: vec![0xFF, 0xFF, 0xFF],
-            expected: WireError::Truncated,
+            expected: Wire(WireError::Truncated),
         },
         Case {
             name: "resp_unknown_type",
             direction: Resp,
             bytes: frame(&[head(6, 0)], &[]),
-            expected: WireError::UnknownType(6),
+            expected: Wire(WireError::UnknownType(6)),
         },
         Case {
             name: "resp_trailing_bytes",
             direction: Resp,
             bytes: frame(&[head(8, 1)], &[0xBB]),
-            expected: WireError::Malformed("trailing bytes"),
+            expected: Wire(WireError::Malformed("trailing bytes")),
         },
         Case {
             name: "resp_bitmap_byte_len_mismatch",
             direction: Resp,
             // Claims 64 bits (8 bytes), carries 4.
             bytes: frame(&[head(10, 2), 0, 64, 0xDEAD_BEEF], &[]),
-            expected: WireError::Malformed("bitmap byte length mismatch"),
+            expected: Wire(WireError::Malformed("bitmap byte length mismatch")),
         },
         Case {
             name: "resp_push_len_mismatch",
             direction: Resp,
             // Claims three 20-byte pushed alarms, carries one.
             bytes: frame(&[head(11, 2), 0, 3, 1, 0, 0, 10, 10], &[]),
-            expected: WireError::Malformed("alarm push length mismatch"),
+            expected: Wire(WireError::Malformed("alarm push length mismatch")),
         },
         Case {
             name: "resp_stats_byte_len_mismatch",
             direction: Resp,
             bytes: frame(&[head(7, 1), 5], b"ok"),
-            expected: WireError::Malformed("stats byte length mismatch"),
+            expected: Wire(WireError::Malformed("stats byte length mismatch")),
         },
         Case {
             name: "resp_stats_not_utf8",
             direction: Resp,
             bytes: frame(&[head(7, 1), 2], &[0xFF, 0xFE]),
-            expected: WireError::Malformed("stats text is not utf-8"),
+            expected: Wire(WireError::Malformed("stats text is not utf-8")),
         },
         Case {
             name: "resp_batch_nested_batch",
@@ -165,14 +186,14 @@ fn corpus() -> Vec<Case> {
             // well-formed (empty) batch — rejected by the nesting check,
             // not by the nested decode.
             bytes: frame(&[head(2, 1), 1, 77, 1, 8, head(2, 0), 0], &[]),
-            expected: WireError::Malformed("batches do not nest"),
+            expected: Wire(WireError::Malformed("batches do not nest")),
         },
         Case {
             name: "resp_batch_inner_truncated",
             direction: Resp,
             // Nested length claims 64 bytes; none follow.
             bytes: frame(&[head(2, 1), 1, 77, 1, 64], &[]),
-            expected: WireError::Truncated,
+            expected: Wire(WireError::Truncated),
         },
         Case {
             name: "resp_batch_oversized_alloc",
@@ -181,9 +202,40 @@ fn corpus() -> Vec<Case> {
             // decoder must cap its pre-allocation and fail on the bytes,
             // not abort on an oversized Vec reservation.
             bytes: frame(&[head(2, 1), u32::MAX], &[]),
-            expected: WireError::Truncated,
+            expected: Wire(WireError::Truncated),
+        },
+        Case {
+            name: "req_install_gapped_alarm_id",
+            direction: Req,
+            // A perfectly well-formed install frame whose alarm id (7)
+            // skips ahead of the dense id sequence (an empty server
+            // expects 0). Used to panic the router thread via the index's
+            // dense-id assertion; must answer `Error { UNKNOWN_ALARM }`.
+            // Rect words are Q16.16 metres: a valid 100 m square.
+            bytes: frame(
+                &[head(4, 3), 7, 1, 100 << 16, 100 << 16, 200 << 16, 200 << 16],
+                &[],
+            ),
+            expected: ServerError { code: error_code::UNKNOWN_ALARM },
         },
     ]
+}
+
+/// A minimal live server with no alarms plus one Hello'd session, for
+/// the `ServerError` corpus cases.
+fn live_server() -> (std::sync::Arc<Server>, u32) {
+    let universe = Rect::new(0.0, 0.0, 10_000.0, 10_000.0).unwrap();
+    let grid = Grid::new(universe, 1_000.0).unwrap();
+    let server = Server::start(grid, Vec::new(), 20.0, ServerConfig::default());
+    let session = server.open_session();
+    let hello =
+        Request::Hello { seq: 1, user: 0, strategy: StrategySpec::Mwpsr };
+    let responses = server.handle(session, hello);
+    assert!(
+        !responses.iter().any(|r| matches!(r, Response::Error { .. })),
+        "hello must succeed: {responses:?}"
+    );
+    (server, session)
 }
 
 fn corpus_dir() -> PathBuf {
@@ -193,16 +245,39 @@ fn corpus_dir() -> PathBuf {
 #[test]
 fn every_corpus_frame_is_rejected_with_its_named_error() {
     for case in corpus() {
-        let result = match case.direction {
-            Direction::Request => Request::decode(&case.bytes).map(|_| "request"),
-            Direction::Response => Response::decode(&case.bytes).map(|_| "response"),
-        };
-        assert_eq!(
-            result,
-            Err(case.expected.clone()),
-            "corpus case {} must be rejected with exactly its named error",
-            case.name
-        );
+        match case.expected {
+            Expected::Wire(ref want) => {
+                let result = match case.direction {
+                    Direction::Request => Request::decode(&case.bytes).map(|_| "request"),
+                    Direction::Response => Response::decode(&case.bytes).map(|_| "response"),
+                };
+                assert_eq!(
+                    result,
+                    Err(want.clone()),
+                    "corpus case {} must be rejected with exactly its named error",
+                    case.name
+                );
+            }
+            Expected::ServerError { code } => {
+                assert_eq!(case.direction, Direction::Request, "server cases are requests");
+                let req = Request::decode(&case.bytes).unwrap_or_else(|e| {
+                    panic!("corpus case {} must decode cleanly, got {e:?}", case.name)
+                });
+                let (server, session) = live_server();
+                let responses = server.handle(session, req);
+                let [Response::Error { code: got, .. }] = responses.as_slice() else {
+                    panic!(
+                        "corpus case {} must yield exactly one error response, got {responses:?}",
+                        case.name
+                    );
+                };
+                assert_eq!(
+                    *got, code,
+                    "corpus case {} answered the wrong error code",
+                    case.name
+                );
+            }
+        }
     }
 }
 

@@ -69,6 +69,16 @@ impl<T: ?Sized> RwLock<T> {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Acquires shared read access only if no writer holds or is waiting
+    /// for the lock right now.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
@@ -114,6 +124,22 @@ mod tests {
         }
         *l.write() += 1;
         assert_eq!(*l.read(), 42);
+    }
+
+    #[test]
+    fn try_read_fails_only_under_a_writer() {
+        let l = RwLock::new(5);
+        {
+            let _w = l.write();
+            // A writer holds the lock: try_read must refuse, not block.
+            assert!(l.try_read().is_none());
+        }
+        assert_eq!(*l.try_read().expect("lock is free"), 5);
+        {
+            let _r = l.read();
+            // Readers coexist.
+            assert_eq!(*l.try_read().expect("read locks are shared"), 5);
+        }
     }
 
     #[test]
