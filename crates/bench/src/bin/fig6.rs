@@ -141,13 +141,13 @@ fn main() {
 
     if part == "all" || part == "d" {
         let mut rows = Vec::new();
-        for pi in 0..2 {
+        for (pi, pct) in pct_label.iter().enumerate().take(2) {
             for (label, name) in
                 [("PR", "PRD"), ("MW", "MWPSR"), ("PB", "PBSR"), ("SP", "SP"), ("OP", "OPT")]
             {
                 let avg = get(name, pi);
                 rows.push(vec![
-                    format!("{}%", pct_label[pi]),
+                    format!("{pct}%"),
                     label.to_string(),
                     format!("{:.3}", avg.alarm_minutes),
                     format!("{:.3}", avg.region_minutes),

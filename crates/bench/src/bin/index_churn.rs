@@ -146,7 +146,7 @@ fn alarm(id: u64, rng: &mut Rng) -> SpatialAlarm {
     let owner = SubscriberId((rng.next() % 8) as u32);
     // Mostly public so reader probes do real tree work; a private tail
     // keeps the per-subscriber path warm too.
-    let scope = if rng.next() % 4 == 0 {
+    let scope = if rng.next().is_multiple_of(4) {
         AlarmScope::Private { owner }
     } else {
         AlarmScope::Public { owner }

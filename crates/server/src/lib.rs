@@ -54,6 +54,8 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod clock;
+pub mod netfront;
+pub mod reactor;
 pub mod replay;
 pub mod server;
 pub mod shard;
@@ -67,11 +69,18 @@ pub use chaos::{
 };
 pub use client::{Backoff, Client, ClientStats, ResiliencePolicy};
 pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
+pub use netfront::{
+    AdmissionConfig, AdmissionController, FrameError, FrameReader, WriteQueue,
+};
+pub use reactor::{Reactor, ReactorConfig};
 pub use replay::{
     replay, replay_batched_in_proc, replay_in_proc, replay_tcp, ReplayConfig, ReplayOutcome,
 };
 pub use sa_obs::TraceMode;
 pub use server::{quantize_rect, Server, ServerConfig, ServerStats};
 pub use shard::{shard_of_index, ShardIndex, ShardPool, ShardSnapshot, VersionedShardIndex};
-pub use transport::{InProcTransport, TcpServerHandle, TcpTransport, Transport, TransportError};
+pub use transport::{
+    InProcTransport, ReconnectingTcpTransport, TcpServerHandle, TcpTransport, Transport,
+    TransportError,
+};
 pub use wire::{CellRange, Request, Response, SessionState, StrategySpec, WireError};

@@ -32,7 +32,7 @@ use sa_alarms::{
     AlarmId, AlarmScope, AlarmSnapshot, AlarmTarget, SnapshotCache, SpatialAlarm, SubscriberId,
     VersionedAlarmIndex,
 };
-use sa_core::{MwpsrComputer, PyramidComputer, PyramidConfig};
+use sa_core::{BitVec, MwpsrComputer, PyramidComputer, PyramidConfig};
 use sa_geometry::{CellId, Grid, Point, Rect};
 use sa_obs::{
     client_root_span, dispatch_span, trace_id_for, Counter, Exemplars, Histogram, Registry, Span,
@@ -115,6 +115,11 @@ struct Session {
     /// `delivery_log[acked..]` — the deliveries a lossy downlink may
     /// have swallowed.
     delivery_log: Vec<u32>,
+    /// `Some(cap)` when the session was admitted under overload
+    /// (reactor admission control): PBSR safe regions are computed at
+    /// `min(requested_height, cap)` pyramid levels and padded back to
+    /// the requested wire layout — coarser and cheaper, never refused.
+    degraded_height_cap: Option<u32>,
 }
 
 /// Stripe count of the [`SessionTable`] — a power of two comfortably
@@ -153,9 +158,18 @@ impl SessionTable {
         self.stripe(session).read().contains_key(&session)
     }
 
-    /// Copies the cheap per-session header (subscriber, strategy).
-    fn peek(&self, session: u32) -> Option<(SubscriberId, StrategySpec)> {
-        self.stripe(session).read().get(&session).map(|s| (s.user, s.strategy))
+    /// Copies the cheap per-session header (subscriber, strategy,
+    /// degraded-admission height cap).
+    fn peek(&self, session: u32) -> Option<(SubscriberId, StrategySpec, Option<u32>)> {
+        self.stripe(session)
+            .read()
+            .get(&session)
+            .map(|s| (s.user, s.strategy, s.degraded_height_cap))
+    }
+
+    /// Live sessions across every stripe.
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
     }
 
     /// Runs `f` on the session under its stripe's write lock.
@@ -483,6 +497,35 @@ impl Server {
         self.core.next_session.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// How many sessions are currently registered (i.e. have completed
+    /// a `Hello` and not been closed). The reactor's soak tests use
+    /// this to assert the table returns to baseline after churn.
+    pub fn session_count(&self) -> usize {
+        self.core.sessions.len()
+    }
+
+    /// Drops a session's server-side state (safe region, delivery log,
+    /// fired set). Called by the network front end when a connection
+    /// closes. Returns `false` when the session was never registered
+    /// (e.g. the peer disconnected before `Hello`).
+    pub fn close_session(&self, session: u32) -> bool {
+        self.core.sessions.remove(session).is_some()
+    }
+
+    /// Caps the pyramid height this session's PBSR regions are
+    /// *computed* at — the wire encoding is padded back to the height
+    /// the client requested (see `pad_bitmap_wire_bits`), so the
+    /// client is unaffected except for receiving a
+    /// coarser (still sound) region. The reactor applies this to
+    /// sessions admitted under overload. Returns `false` for an
+    /// unknown session.
+    pub fn degrade_session(&self, session: u32, height_cap: u32) -> bool {
+        self.core
+            .sessions
+            .with_mut(session, |s| s.degraded_height_cap = Some(height_cap.max(1)))
+            .is_some()
+    }
+
     /// The grid the server shards over.
     pub fn grid(&self) -> &Grid {
         &self.core.grid
@@ -633,6 +676,7 @@ impl Server {
                         strategy,
                         last_cell: None,
                         delivery_log: Vec::new(),
+                        degraded_height_cap: None,
                     },
                 );
                 out.push(Response::Ack { seq });
@@ -998,6 +1042,39 @@ pub fn quantize_rect(rect: Rect) -> [u32; 4] {
     ]
 }
 
+/// Re-encodes a pyramid region computed at a *lower* height into the
+/// nominal wire layout of `target_height`, by appending the phantom
+/// all-zero child blocks the deeper levels would carry.
+///
+/// In the paper's layout every zero bit at level `l < h` owns a
+/// `U × V` child block at level `l + 1`; when the region was computed
+/// at height `d < h`, levels `d+1..=h` are exactly those phantom
+/// blocks — all zeros, sized `zeros(level) × fanout` cascading. The
+/// padded encoding therefore decodes (at `target_height`) to the
+/// *same* geometric region the height-`d` computation produced:
+/// coarser than a native height-`h` region, but sound, and cheaper by
+/// `h − d` levels of geometry probes. This is the degraded-admission
+/// encoding bridge (see `DESIGN.md` S18): the client keeps decoding at
+/// the height it asked for.
+pub(crate) fn pad_bitmap_wire_bits(
+    region: &sa_core::BitmapSafeRegion,
+    target_height: u32,
+) -> BitVec {
+    let mut bits = region.to_wire_bits();
+    let cfg = region.config();
+    if region.is_whole_cell_free() || cfg.height >= target_height {
+        return bits;
+    }
+    let fanout = u64::from(cfg.split_u) * u64::from(cfg.split_v);
+    let mut zeros = region.nominal_level_zeros().last().copied().unwrap_or(0);
+    for _ in cfg.height..target_height {
+        let block = zeros.saturating_mul(fanout);
+        bits.push_zeros(block as usize);
+        zeros = block;
+    }
+    bits
+}
+
 impl Core {
     fn session_exists(&self, session: u32) -> bool {
         self.sessions.contains(session)
@@ -1196,6 +1273,10 @@ impl Core {
                 strategy: state.strategy,
                 last_cell,
                 delivery_log: state.delivery_log,
+                // Degradation is an admission-time condition of the
+                // *admitting* server; an imported session starts at
+                // full quality on its new owner.
+                degraded_height_cap: None,
             },
         );
         self.metrics.handoff_imports.inc();
@@ -1285,7 +1366,7 @@ impl Core {
     /// inline — it only touches the fired set).
     fn notify_trigger(&self, session: u32, seq: u32, alarm: u32) -> Vec<Response> {
         let user = match self.sessions.peek(session) {
-            Some((user, _)) => user,
+            Some((user, _, _)) => user,
             None => return vec![Response::Error { seq, code: error_code::NO_SESSION }],
         };
         if self.fired.write().insert((user, AlarmId(alarm as u64))) {
@@ -1311,7 +1392,7 @@ impl Core {
                 return;
             }
         };
-        let (user, strategy) = match self.sessions.peek(session) {
+        let (user, strategy, degraded_cap) = match self.sessions.peek(session) {
             Some(header) => header,
             None => {
                 out.push(Response::Error { seq, code: error_code::NO_SESSION });
@@ -1433,8 +1514,14 @@ impl Core {
                 if prev == Some(cell) && !fired_now {
                     out.push(Response::Ack { seq });
                 } else {
+                    // A degraded admission computes the pyramid at a
+                    // capped height (fewer levels of geometry probes)
+                    // and pads the encoding back to the height the
+                    // client decodes with — same region, coarser and
+                    // cheaper (DESIGN.md S18).
+                    let eff = degraded_cap.map_or(height, |cap| height.min(cap.max(1)));
                     let started_ns = self.clock.now_ns();
-                    let region = self.pbsr_region(shard, user, cell, cell_rect, height, trace);
+                    let region = self.pbsr_region(shard, user, cell, cell_rect, eff, trace);
                     self.metrics
                         .compute_hist(strategy)
                         .record_duration(self.clock.elapsed_since(started_ns));
@@ -1449,7 +1536,7 @@ impl Core {
                     out.push(Response::BitmapInstall {
                         seq,
                         cell: cell_word,
-                        bits: region.to_wire_bits(),
+                        bits: pad_bitmap_wire_bits(&region, height),
                     });
                 }
             }
@@ -1569,5 +1656,68 @@ impl Core {
             self.metrics.region_computations.inc();
             computer.compute(cell_rect, &obstacles)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::{BitmapSafeRegion, PyramidComputer, SafeRegion};
+
+    fn region(height: u32, alarms: &[Rect]) -> BitmapSafeRegion {
+        let cell = Rect::new(0.0, 0.0, 9.0, 9.0).unwrap();
+        PyramidComputer::new(PyramidConfig::three_by_three(height)).compute(cell, alarms)
+    }
+
+    #[test]
+    fn padded_bits_decode_at_the_requested_height_to_the_coarse_region() {
+        let cell = Rect::new(0.0, 0.0, 9.0, 9.0).unwrap();
+        let alarm = Rect::new(1.0, 1.0, 2.0, 2.0).unwrap();
+        let coarse = region(2, &[alarm]);
+        let bits = pad_bitmap_wire_bits(&coarse, 5);
+        let decoded = BitmapSafeRegion::from_wire_bits(
+            cell,
+            PyramidConfig::three_by_three(5),
+            &bits,
+        )
+        .expect("padded bits must decode at the requested height");
+        assert!(
+            (decoded.coverage() - coarse.coverage()).abs() < 1e-9,
+            "padding must not change the region's area: {} vs {}",
+            decoded.coverage(),
+            coarse.coverage()
+        );
+        // Spot-check containment agreement on a grid of probe points.
+        for ix in 0..30 {
+            for iy in 0..30 {
+                let p = Point::new(0.15 + ix as f64 * 0.3, 0.15 + iy as f64 * 0.3);
+                assert_eq!(
+                    decoded.contains(p),
+                    coarse.contains(p),
+                    "padded and coarse regions disagree at {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padding_is_identity_at_or_above_the_target_height() {
+        let alarm = Rect::new(1.0, 1.0, 2.0, 2.0).unwrap();
+        let native = region(3, &[alarm]);
+        assert_eq!(pad_bitmap_wire_bits(&native, 3), native.to_wire_bits());
+        assert_eq!(pad_bitmap_wire_bits(&native, 2), native.to_wire_bits());
+    }
+
+    #[test]
+    fn whole_cell_free_needs_no_padding() {
+        // No alarms → the root bit alone encodes the region at any height.
+        let free = region(2, &[]);
+        assert!(free.is_whole_cell_free());
+        let bits = pad_bitmap_wire_bits(&free, 6);
+        assert_eq!(bits, free.to_wire_bits());
+        let cell = Rect::new(0.0, 0.0, 9.0, 9.0).unwrap();
+        let decoded = BitmapSafeRegion::from_wire_bits(cell, PyramidConfig::three_by_three(6), &bits)
+            .expect("root-free bits are height-independent");
+        assert!(decoded.is_whole_cell_free());
     }
 }

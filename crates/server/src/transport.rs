@@ -273,6 +273,112 @@ impl Transport for TcpTransport {
     }
 }
 
+/// A TCP endpoint that survives server restarts: on a transport error it
+/// tears the socket down, and the next request transparently re-dials
+/// and replays the cached `Hello` so the fresh connection's session is
+/// registered before the request goes out.
+///
+/// Pairs with the client's [`crate::client::ResiliencePolicy`] machine:
+/// the client backs off and re-issues the failed request, and this
+/// transport turns that retry into dial → `Hello` → request. One
+/// caveat is inherited from the per-connection session model: the new
+/// session starts with an empty delivery log, so redeliveries recovered
+/// by `Resync` can only cover losses *after* the reconnect (see
+/// `DESIGN.md` S18).
+pub struct ReconnectingTcpTransport {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    hello: Option<Request>,
+    reconnects: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ReconnectingTcpTransport {
+    /// Connects to `addr` now; later reconnects are lazy (on the next
+    /// request after a failure).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<ReconnectingTcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ReconnectingTcpTransport {
+            addr,
+            stream: Some(stream),
+            hello: None,
+            reconnects: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        })
+    }
+
+    /// A shareable handle onto the reconnect counter (dials after the
+    /// initial connect).
+    pub fn reconnect_counter(&self) -> Arc<std::sync::atomic::AtomicU64> {
+        Arc::clone(&self.reconnects)
+    }
+
+    /// Exchanges one already-framed request on `stream` and reads its
+    /// response sequence.
+    fn exchange(stream: &mut TcpStream, req: &Request) -> Result<Vec<Response>, TransportError> {
+        stream.write_all(&frame(&req.encode()))?;
+        stream.flush()?;
+        let mut out = Vec::new();
+        loop {
+            let body = read_frame(stream)?.ok_or(TransportError::Closed)?;
+            let resp = Response::decode(&body)?;
+            let terminal = resp.is_terminal();
+            out.push(resp);
+            if terminal {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Returns a live socket, dialing and replaying the cached `Hello`
+    /// when the previous one died. `dialing_for_hello` suppresses the
+    /// replay when the request about to be sent is itself a `Hello`.
+    fn ensure_connected(
+        &mut self,
+        dialing_for_hello: bool,
+    ) -> Result<&mut TcpStream, TransportError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            self.reconnects.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if !dialing_for_hello {
+                if let Some(hello) = self.hello.clone() {
+                    let stream = self.stream.as_mut().expect("just connected");
+                    match Self::exchange(stream, &hello) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            self.stream = None;
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(self.stream.as_mut().expect("connected above"))
+    }
+}
+
+impl Transport for ReconnectingTcpTransport {
+    fn request(&mut self, req: Request) -> Result<Vec<Response>, TransportError> {
+        let is_hello = matches!(req, Request::Hello { .. });
+        if is_hello {
+            self.hello = Some(req.clone());
+        }
+        let stream = self.ensure_connected(is_hello)?;
+        match Self::exchange(stream, &req) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                // Drop the dead socket so the resilience machine's retry
+                // re-dials. The error itself stays transient.
+                if e.is_transient() {
+                    self.stream = None;
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

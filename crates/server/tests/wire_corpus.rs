@@ -5,10 +5,15 @@
 //! plus the exact [`WireError`] it must produce. Frames that *decode*
 //! but must be rejected by the server (e.g. an install with a gapped
 //! alarm id) are corpus cases too, carrying the `Response::Error` code
-//! the live server must answer with instead of panicking. The
-//! table-driven test keeps the directory and the table in lockstep — a
-//! frame on disk with no table entry (or vice versa) fails the test, so
-//! a new rejection branch cannot land without a named corpus case.
+//! the live server must answer with instead of panicking. Byte streams
+//! that never reach a decoder — rejected by the reactor's framing layer
+//! on a live socket — are the third tier: their corpus bytes are
+//! written raw to a real reactor connection and the case names the
+//! `sa_net_closed_total{reason}` label the close must be attributed to.
+//! The table-driven test keeps the directory and the table in
+//! lockstep — a frame on disk with no table entry (or vice versa) fails
+//! the test, so a new rejection branch cannot land without a named
+//! corpus case.
 //!
 //! `regenerate_corpus` (ignored by default) rewrites the directory from
 //! the table: `cargo test -p sa-server --test wire_corpus -- --ignored`.
@@ -16,14 +21,18 @@
 use sa_geometry::{Grid, Rect};
 use sa_server::server::error_code;
 use sa_server::wire::{Request, Response, StrategySpec, WireError};
-use sa_server::{Server, ServerConfig};
+use sa_server::{Reactor, ReactorConfig, Server, ServerConfig};
+use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
-/// Which decoder the frame is aimed at.
+/// Which decoder the frame is aimed at. `Socket` cases bypass the
+/// decoders: their bytes go straight onto a live reactor connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
     Request,
     Response,
+    Socket,
 }
 
 /// What must happen to the frame.
@@ -36,6 +45,13 @@ enum Expected {
     ServerError {
         /// The expected [`error_code`] value.
         code: u32,
+    },
+    /// The bytes, written raw to a live reactor socket, must get the
+    /// connection closed with this `sa_net_closed_total{reason}` label
+    /// (and the server must survive).
+    ReactorClose {
+        /// The close-reason label.
+        reason: &'static str,
     },
 }
 
@@ -66,7 +82,7 @@ fn frame(words: &[u32], tail: &[u8]) -> Vec<u8> {
 /// decodable-but-server-rejected frames.
 fn corpus() -> Vec<Case> {
     use Direction::{Request as Req, Response as Resp};
-    use Expected::{ServerError, Wire};
+    use Expected::{ReactorClose, ServerError, Wire};
     // Request types: 0=resync 1=hello 2=location 3=notify 4=install
     // 5=remove 6=bye 7=stats 8=batch. Response types: 2=batch 7=stats
     // 8=ack 9=rect 10=bitmap 11=push 12=delivery 13=grant 14=overloaded
@@ -218,6 +234,38 @@ fn corpus() -> Vec<Case> {
             ),
             expected: ServerError { code: error_code::UNKNOWN_ALARM },
         },
+        Case {
+            name: "net_oversized_frame_live",
+            direction: Direction::Socket,
+            // A length prefix one past MAX_FRAME_LEN on an otherwise
+            // clean connection: the framing layer must refuse before
+            // buffering a single body byte.
+            bytes: (sa_server::wire::MAX_FRAME_LEN as u32 + 1).to_be_bytes().to_vec(),
+            expected: ReactorClose { reason: "protocol" },
+        },
+        Case {
+            name: "net_garbage_preamble",
+            direction: Direction::Socket,
+            // Not a protocol stream at all (say, an HTTP client dialed
+            // the wrong port). The first 4 bytes read as a ~1.2 GB
+            // length prefix; same guard, zero bytes buffered.
+            bytes: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            expected: ReactorClose { reason: "protocol" },
+        },
+        Case {
+            name: "net_slow_loris_half_frame",
+            direction: Direction::Socket,
+            // A plausible 64-byte frame that never finishes: 4-byte
+            // prefix plus three body bytes, then silence. The reaper
+            // must attribute the close to the frame deadline, timed
+            // from the frame's FIRST byte.
+            bytes: {
+                let mut b = 64u32.to_be_bytes().to_vec();
+                b.extend_from_slice(&[1, 2, 3]);
+                b
+            },
+            expected: ReactorClose { reason: "slow_loris" },
+        },
     ]
 }
 
@@ -242,6 +290,43 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
 }
 
+/// Writes one socket-tier corpus case to a live reactor and returns the
+/// `sa_net_closed_total{reason}` counter once any close is recorded (or
+/// the deadline passes). A fresh server+reactor per case keeps the
+/// counters attributable.
+fn reactor_close_reason_for(bytes: &[u8], reason: &str) -> Option<u64> {
+    let (server, _) = live_server();
+    let cfg = ReactorConfig {
+        workers: 1,
+        // Short deadline so the slow-loris case resolves quickly; the
+        // oversized/garbage cases close on the first readiness pass.
+        frame_deadline: Duration::from_millis(100),
+        idle_timeout: Duration::from_secs(30),
+        ..ReactorConfig::default()
+    };
+    let reactor = Reactor::bind(std::sync::Arc::clone(&server), cfg).expect("bind the reactor");
+    let mut sock = std::net::TcpStream::connect(reactor.addr()).expect("dial the reactor");
+    sock.write_all(bytes).expect("write the corpus bytes");
+    sock.flush().expect("flush the corpus bytes");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let count = loop {
+        let snap = server.registry().snapshot();
+        let total: u64 = ["eof", "io", "protocol", "idle", "slow_loris", "shutdown"]
+            .iter()
+            .filter_map(|r| snap.counter("sa_net_closed_total", &[("reason", r)]))
+            .sum();
+        if total > 0 || std::time::Instant::now() >= deadline {
+            break snap.counter("sa_net_closed_total", &[("reason", reason)]);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    drop(sock);
+    drop(reactor);
+    server.shutdown();
+    count
+}
+
 #[test]
 fn every_corpus_frame_is_rejected_with_its_named_error() {
     for case in corpus() {
@@ -250,6 +335,7 @@ fn every_corpus_frame_is_rejected_with_its_named_error() {
                 let result = match case.direction {
                     Direction::Request => Request::decode(&case.bytes).map(|_| "request"),
                     Direction::Response => Response::decode(&case.bytes).map(|_| "response"),
+                    Direction::Socket => panic!("socket cases expect ReactorClose"),
                 };
                 assert_eq!(
                     result,
@@ -274,6 +360,15 @@ fn every_corpus_frame_is_rejected_with_its_named_error() {
                 assert_eq!(
                     *got, code,
                     "corpus case {} answered the wrong error code",
+                    case.name
+                );
+            }
+            Expected::ReactorClose { reason } => {
+                assert_eq!(case.direction, Direction::Socket, "reactor cases are socket-tier");
+                assert_eq!(
+                    reactor_close_reason_for(&case.bytes, reason),
+                    Some(1),
+                    "corpus case {} must close the connection as {reason:?}",
                     case.name
                 );
             }

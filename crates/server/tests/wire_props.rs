@@ -1,10 +1,14 @@
 //! Property tests for the bitmap wire encodings: randomly generated bit
 //! vectors and pyramid regions must survive the encode→decode round trip
-//! with their observable behaviour intact.
+//! with their observable behaviour intact — plus the framing laws of the
+//! nonblocking [`FrameReader`], pinned against the blocking
+//! [`read_frame`] path the loopback transport uses.
 
 use proptest::prelude::*;
 use sa_core::{BitVec, BitmapSafeRegion, PyramidComputer, PyramidConfig};
 use sa_geometry::{Point, Rect};
+use sa_server::netfront::FrameReader;
+use sa_server::wire::read_frame;
 
 /// The cell every generated pyramid lives in.
 const CELL: (f64, f64) = (90.0, 90.0);
@@ -70,5 +74,56 @@ proptest! {
                 prop_assert_eq!(decoded.contains(p), region.contains(p));
             }
         }
+    }
+
+    /// The reactor's incremental reassembly is byte-split invariant:
+    /// however a stream of frames is chopped across `push` calls (the
+    /// kernel's prerogative on a nonblocking socket), the extracted
+    /// frame bodies equal what the blocking `read_frame` path yields on
+    /// the same bytes.
+    #[test]
+    fn frame_reader_reassembles_any_split_like_the_blocking_reader(
+        bodies in prop::collection::vec(
+            prop::collection::vec(0u8..=255, 0..200usize),
+            1..8usize,
+        ),
+        cut_fractions in prop::collection::vec(0.0..=1.0f64, 0..24usize),
+    ) {
+        // The wire stream: every body behind its u32 length prefix.
+        let mut stream = Vec::new();
+        for body in &bodies {
+            stream.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            stream.extend_from_slice(body);
+        }
+
+        // The blocking reference: read frames off a cursor to EOF.
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        let mut reference = Vec::new();
+        while let Some(body) = read_frame(&mut cursor).expect("in-memory reads cannot fail") {
+            reference.push(body);
+        }
+        prop_assert_eq!(&reference, &bodies, "read_frame must yield the encoded bodies");
+
+        // The incremental path: the same bytes, split at the sampled
+        // boundaries (duplicates collapse; 0 and len are allowed — an
+        // empty push must be harmless).
+        let mut boundaries: Vec<usize> =
+            cut_fractions.iter().map(|f| (f * stream.len() as f64) as usize).collect();
+        boundaries.push(0);
+        boundaries.push(stream.len());
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let mut reader = FrameReader::new();
+        let mut reassembled = Vec::new();
+        for pair in boundaries.windows(2) {
+            reader.push(&stream[pair[0]..pair[1]], pair[0] as u64);
+            while let Some(body) = reader.next_frame().expect("bodies are under the cap") {
+                reassembled.push(body);
+            }
+        }
+        prop_assert_eq!(&reassembled, &reference, "split position must not matter");
+        prop_assert!(!reader.has_partial(), "a fully fed stream leaves no tail");
+        prop_assert_eq!(reader.buffered(), 0);
     }
 }
