@@ -438,7 +438,7 @@ fn drive_worker(
                 }
             }
             let done_ns = started.elapsed().as_nanos() as u64;
-            while let Some(body) = conn.reader.next_frame().expect("reactor frames are bounded") {
+            while let Some(body) = conn.reader.next_frame(done_ns).expect("reactor frames are bounded") {
                 let resp = Response::decode(&body).expect("decode server response");
                 match resp {
                     Response::TriggerDelivery { seq, alarm } => {

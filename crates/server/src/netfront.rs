@@ -98,11 +98,17 @@ impl FrameReader {
 
     /// Extracts the next complete frame body, if one is buffered.
     ///
+    /// `now_ns` restarts the slow-loris deadline for whatever partial
+    /// frame the drained bytes leave behind: extracting a whole frame is
+    /// progress, so a pipelining client whose buffer never fully drains
+    /// is not reaped as stalled (only trickled bytes *within* one frame
+    /// leave the deadline untouched).
+    ///
     /// # Errors
     ///
     /// [`FrameError::Oversized`] when the pending length prefix exceeds
     /// [`MAX_FRAME_LEN`]; the stream is unrecoverable from here.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+    pub fn next_frame(&mut self, now_ns: u64) -> Result<Option<Vec<u8>>, FrameError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -121,7 +127,7 @@ impl FrameReader {
         } else {
             // The leftover bytes start the next frame; its deadline
             // clock starts now (they just made progress).
-            self.partial_since_ns = self.partial_since_ns.or(Some(0));
+            self.partial_since_ns = Some(now_ns);
         }
         Ok(body.into())
     }
@@ -316,7 +322,7 @@ mod tests {
         let mut frames = Vec::new();
         for (i, byte) in stream.iter().enumerate() {
             reader.push(std::slice::from_ref(byte), i as u64);
-            while let Some(body) = reader.next_frame().unwrap() {
+            while let Some(body) = reader.next_frame(i as u64).unwrap() {
                 frames.push(body);
             }
         }
@@ -334,9 +340,9 @@ mod tests {
         stream.extend_from_slice(&wire_frame(&b));
         let mut reader = FrameReader::new();
         reader.push(&stream, 0);
-        assert_eq!(Request::decode(&reader.next_frame().unwrap().unwrap()).unwrap(), a);
-        assert_eq!(Request::decode(&reader.next_frame().unwrap().unwrap()).unwrap(), b);
-        assert!(reader.next_frame().unwrap().is_none());
+        assert_eq!(Request::decode(&reader.next_frame(0).unwrap().unwrap()).unwrap(), a);
+        assert_eq!(Request::decode(&reader.next_frame(0).unwrap().unwrap()).unwrap(), b);
+        assert!(reader.next_frame(0).unwrap().is_none());
     }
 
     #[test]
@@ -345,7 +351,7 @@ mod tests {
         let declared = (MAX_FRAME_LEN + 1) as u32;
         reader.push(&declared.to_be_bytes(), 0);
         assert_eq!(
-            reader.next_frame(),
+            reader.next_frame(0),
             Err(FrameError::Oversized { declared: MAX_FRAME_LEN + 1 })
         );
         // Only the 4 prefix bytes were ever held.
@@ -358,7 +364,7 @@ mod tests {
         stream.extend(std::iter::repeat_n(0u8, MAX_FRAME_LEN));
         let mut reader = FrameReader::new();
         reader.push(&stream, 0);
-        let body = reader.next_frame().unwrap().unwrap();
+        let body = reader.next_frame(0).unwrap().unwrap();
         assert_eq!(body.len(), MAX_FRAME_LEN);
     }
 
@@ -378,8 +384,34 @@ mod tests {
         // A completed frame clears the stall state.
         let mut ok = FrameReader::new();
         ok.push(&wire_frame(&Request::Bye { seq: 1 }), 1_000);
-        assert!(ok.next_frame().unwrap().is_some());
+        assert!(ok.next_frame(2_000).unwrap().is_some());
         assert!(!ok.stalled(u64::MAX, deadline));
+    }
+
+    #[test]
+    fn pipelined_frames_restart_the_deadline_on_each_extraction() {
+        let deadline = Duration::from_millis(100);
+        let frame_a = wire_frame(&Request::Bye { seq: 1 });
+        let frame_b = wire_frame(&Request::Stats { seq: 2 });
+        // Both frames plus the start of a third arrive in one read: the
+        // buffer never fully drains, as under a fast pipelining client.
+        let mut stream = frame_a;
+        stream.extend_from_slice(&frame_b);
+        stream.extend_from_slice(&3u32.to_be_bytes());
+        let mut reader = FrameReader::new();
+        reader.push(&stream, 1_000);
+        // Extract frame A much later; the leftover's clock must restart
+        // at the extraction time, not keep the original push timestamp —
+        // otherwise a healthy pipelining connection is reaped as a slow
+        // loris once the deadline passes its FIRST byte.
+        let extracted_ns = 200_000_000;
+        assert!(reader.next_frame(extracted_ns).unwrap().is_some());
+        assert!(reader.has_partial());
+        assert!(!reader.stalled(extracted_ns + 1, deadline), "clock restarted on progress");
+        assert!(reader.next_frame(extracted_ns + 10).unwrap().is_some());
+        assert!(!reader.stalled(extracted_ns + 20, deadline));
+        // But the pending half-frame still times out from its restart.
+        assert!(reader.stalled(extracted_ns + 10 + 100_000_001, deadline));
     }
 
     /// A sink that accepts at most `cap` bytes per write call.
@@ -483,7 +515,7 @@ mod tests {
         // up — the framing layer itself must not wedge on it.
         let mut reader = FrameReader::new();
         reader.push(&0u32.to_be_bytes(), 0);
-        assert_eq!(reader.next_frame().unwrap(), Some(Vec::new()));
+        assert_eq!(reader.next_frame(0).unwrap(), Some(Vec::new()));
         assert!(!reader.has_partial());
     }
 

@@ -55,7 +55,8 @@ pub struct ReactorConfig {
     pub max_conns: usize,
     /// When new sessions are degraded instead of refused.
     pub admission: AdmissionConfig,
-    /// Connections with no complete frame for this long are reaped.
+    /// Connections with no activity (no complete frame and no write
+    /// progress) for this long are reaped.
     pub idle_timeout: Duration,
     /// A partial frame pending longer than this (measured from its
     /// *first* byte) is a slow loris; the connection is reaped.
@@ -93,7 +94,8 @@ enum CloseReason {
     /// The byte stream violated the protocol (oversized frame, a body
     /// that does not decode).
     Protocol,
-    /// No complete frame for longer than the idle timeout.
+    /// No activity (complete frame or write progress) for longer than
+    /// the idle timeout.
     Idle,
     /// A half-frame outlived the frame deadline.
     SlowLoris,
@@ -173,8 +175,13 @@ struct Conn {
     session: u32,
     reader: FrameReader,
     writer: WriteQueue,
-    /// Last time a complete frame arrived (or the connection opened).
-    last_frame_ns: u64,
+    /// Last time the connection made protocol progress: a complete
+    /// frame arrived, a write drained bytes, or the connection opened.
+    /// Write progress counts because a read-throttled connection (over
+    /// its write watermark) cannot produce frames while it slowly
+    /// drains its backlog — reaping it as idle would drop the queued
+    /// responses the protocol promises never to drop.
+    last_activity_ns: u64,
     /// The peer half-closed; the connection dies once the writer drains.
     eof: bool,
     /// Reused response buffer for `handle_into`.
@@ -188,7 +195,7 @@ impl Conn {
             session,
             reader: FrameReader::new(),
             writer: WriteQueue::new(watermark),
-            last_frame_ns: now_ns,
+            last_activity_ns: now_ns,
             eof: false,
             responses: Vec::new(),
         }
@@ -202,7 +209,11 @@ impl Conn {
 
         if !self.writer.is_empty() {
             match self.writer.write_some(&mut self.stream) {
-                Ok(n) => worked |= n > 0,
+                Ok(n) if n > 0 => {
+                    worked = true;
+                    self.last_activity_ns = now_ns;
+                }
+                Ok(_) => {}
                 Err(_) => return Err(CloseReason::Io),
             }
         }
@@ -232,9 +243,9 @@ impl Conn {
         }
 
         loop {
-            match self.reader.next_frame() {
+            match self.reader.next_frame(now_ns) {
                 Ok(Some(body)) => {
-                    self.last_frame_ns = now_ns;
+                    self.last_activity_ns = now_ns;
                     self.process_frame(shared, &body, now_ns)?;
                     worked = true;
                 }
@@ -245,7 +256,11 @@ impl Conn {
 
         if !self.writer.is_empty() {
             match self.writer.write_some(&mut self.stream) {
-                Ok(n) => worked |= n > 0,
+                Ok(n) if n > 0 => {
+                    worked = true;
+                    self.last_activity_ns = now_ns;
+                }
+                Ok(_) => {}
                 Err(_) => return Err(CloseReason::Io),
             }
         }
@@ -451,7 +466,7 @@ fn worker_loop(shared: &Shared) {
                     let c = &conns[i];
                     if c.reader.stalled(now_ns, shared.cfg.frame_deadline) {
                         Some(CloseReason::SlowLoris)
-                    } else if now_ns.saturating_sub(c.last_frame_ns) > idle_ns {
+                    } else if now_ns.saturating_sub(c.last_activity_ns) > idle_ns {
                         Some(CloseReason::Idle)
                     } else {
                         None

@@ -534,7 +534,7 @@ impl Server {
     /// Joins a federation as member `self_id` under the given partition
     /// map. From here on, position-bearing requests whose cell another
     /// member owns are bounced with
-    /// [`Response::WrongOwner`](crate::wire::Response::WrongOwner), and
+    /// [`Response::WrongOwner`], and
     /// [`Request::InstallTopology`] pushes with a newer epoch replace
     /// the map.
     ///
@@ -573,7 +573,7 @@ impl Server {
     }
 
     /// How many position-bearing requests this member bounced with
-    /// [`Response::WrongOwner`](crate::wire::Response::WrongOwner).
+    /// [`Response::WrongOwner`].
     pub fn wrong_owner_total(&self) -> u64 {
         self.core.metrics.wrong_owner.get()
     }

@@ -37,7 +37,7 @@ pub enum TransportError {
     /// here (e.g. an `Error` response to a well-formed update).
     Protocol(&'static str),
     /// A federation server bounced the request with
-    /// [`Response::WrongOwner`](crate::wire::Response::WrongOwner): the
+    /// [`Response::WrongOwner`]: the
     /// position's cell belongs to `owner` under map epoch `epoch`.
     /// Deliberately **not** transient — backing off and resending to the
     /// same server can never succeed. The cure is re-routing (refresh
@@ -345,7 +345,20 @@ impl ReconnectingTcpTransport {
                 if let Some(hello) = self.hello.clone() {
                     let stream = self.stream.as_mut().expect("just connected");
                     match Self::exchange(stream, &hello) {
-                        Ok(_) => {}
+                        // The replay must actually re-register the
+                        // session: an `Error`/`Overloaded` terminal
+                        // means the fresh connection has no session, so
+                        // the reconnect failed — surface that here
+                        // rather than letting the next request die with
+                        // a confusing NO_SESSION.
+                        Ok(responses)
+                            if matches!(responses.last(), Some(Response::Ack { .. })) => {}
+                        Ok(_) => {
+                            self.stream = None;
+                            return Err(TransportError::Protocol(
+                                "hello replay was not acknowledged",
+                            ));
+                        }
                         Err(e) => {
                             self.stream = None;
                             return Err(e);
@@ -368,11 +381,12 @@ impl Transport for ReconnectingTcpTransport {
         match Self::exchange(stream, &req) {
             Ok(out) => Ok(out),
             Err(e) => {
-                // Drop the dead socket so the resilience machine's retry
-                // re-dials. The error itself stays transient.
-                if e.is_transient() {
-                    self.stream = None;
-                }
+                // Any failed exchange leaves the stream position
+                // unknown — a decode error mid-response-sequence
+                // desynchronizes the framing just as surely as a broken
+                // socket — so always drop it; `is_transient` only tells
+                // the caller whether a retry is worth attempting.
+                self.stream = None;
                 Err(e)
             }
         }
@@ -427,6 +441,85 @@ mod tests {
     fn wrong_owner_is_not_transient() {
         assert!(!TransportError::WrongOwner { owner: 1, epoch: 2 }.is_transient());
         assert!(TransportError::TimedOut.is_transient());
+    }
+
+    #[test]
+    fn reconnecting_transport_drops_the_stream_on_decode_garbage() {
+        // First connection answers the Hello with Ack, then answers the
+        // next request with an undecodable frame; the second connection
+        // (the redial) acks the replayed Hello and the retried request.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut first, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut first).unwrap();
+            write_frame(&mut first, &Response::Ack { seq: 1 }.encode()).unwrap();
+            let _ = read_frame(&mut first).unwrap();
+            // A framing-valid 2-byte body: too short to even hold the
+            // response head word, so decode fails with Truncated.
+            first.write_all(&2u32.to_be_bytes()).unwrap();
+            first.write_all(&[0xff, 0xff]).unwrap();
+            // Keep `first` open: a desynchronized-but-live stream is the
+            // case where caching the socket would read stale bytes.
+            let (mut second, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut second).unwrap(); // replayed Hello
+            write_frame(&mut second, &Response::Ack { seq: 1 }.encode()).unwrap();
+            let _ = read_frame(&mut second).unwrap(); // retried Stats
+            write_frame(&mut second, &Response::Ack { seq: 2 }.encode()).unwrap();
+            drop(first);
+        });
+
+        let mut t = ReconnectingTcpTransport::connect(addr).unwrap();
+        let reconnects = t.reconnect_counter();
+        assert_eq!(t.request(hello(1)).unwrap(), vec![Response::Ack { seq: 1 }]);
+        let err = t.request(Request::Stats { seq: 2 }).unwrap_err();
+        assert!(matches!(err, TransportError::Wire(_)), "got {err}");
+        // A Wire error is not transient, but the poisoned socket must
+        // still be gone: the next request redials instead of reading
+        // from the middle of the old stream.
+        assert_eq!(t.request(Request::Stats { seq: 2 }).unwrap(), vec![Response::Ack { seq: 2 }]);
+        assert_eq!(reconnects.load(std::sync::atomic::Ordering::Relaxed), 1);
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn rejected_hello_replay_fails_the_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            // Connection 1: Hello → Ack, then close (forcing a redial).
+            let (mut first, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut first).unwrap();
+            write_frame(&mut first, &Response::Ack { seq: 1 }.encode()).unwrap();
+            drop(first);
+            // Connection 2: the replayed Hello is rejected.
+            let (mut second, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut second).unwrap();
+            write_frame(&mut second, &Response::Error { seq: 1, code: 99 }.encode()).unwrap();
+            drop(second);
+            // Connection 3: the replay succeeds, then the request does.
+            let (mut third, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut third).unwrap();
+            write_frame(&mut third, &Response::Ack { seq: 1 }.encode()).unwrap();
+            let _ = read_frame(&mut third).unwrap();
+            write_frame(&mut third, &Response::Ack { seq: 2 }.encode()).unwrap();
+        });
+
+        let mut t = ReconnectingTcpTransport::connect(addr).unwrap();
+        assert_eq!(t.request(hello(1)).unwrap(), vec![Response::Ack { seq: 1 }]);
+        // Connection 1 is gone: this request fails transiently.
+        assert!(t.request(Request::Stats { seq: 2 }).unwrap_err().is_transient());
+        // The retry dials connection 2, whose Hello replay is bounced —
+        // that must surface as a failed reconnect, not as a later
+        // NO_SESSION error on the request.
+        let err = t.request(Request::Stats { seq: 2 }).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol("hello replay was not acknowledged")),
+            "got {err}"
+        );
+        // And the bounced stream was dropped: the next retry redials.
+        assert_eq!(t.request(Request::Stats { seq: 2 }).unwrap(), vec![Response::Ack { seq: 2 }]);
+        peer.join().unwrap();
     }
 
     #[test]

@@ -118,7 +118,7 @@ proptest! {
         let mut reassembled = Vec::new();
         for pair in boundaries.windows(2) {
             reader.push(&stream[pair[0]..pair[1]], pair[0] as u64);
-            while let Some(body) = reader.next_frame().expect("bodies are under the cap") {
+            while let Some(body) = reader.next_frame(pair[0] as u64).expect("bodies are under the cap") {
                 reassembled.push(body);
             }
         }
